@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the measured rows (the same rows/series the paper reports) so the
+output can be compared against EXPERIMENTS.md.  The scales are reduced from
+the paper's so the whole suite runs in minutes on a laptop; the shapes are
+what matters.
+"""
+
+from __future__ import annotations
+
+
+def report(result):
+    """Print an experiment result table underneath the benchmark output."""
+    print()
+    print(result.render())
+    print()

@@ -1,0 +1,59 @@
+"""Ablation benchmarks for the implementation techniques of Section 3.1.
+
+These do not correspond to a figure in the paper; they quantify the design
+choices DESIGN.md calls out: incremental homomorphism pruning and chase-result
+memoisation in the backchase.
+"""
+
+from repro.chase.chase import chase
+from repro.chase.implication import ChaseCache
+from repro.cq.homomorphism import count_homomorphisms
+from repro.workloads.ec2 import build_ec2
+
+
+def _universal_plan_and_constraint():
+    workload = build_ec2(stars=2, corners=4, views=2)
+    constraints = workload.catalog.constraints()
+    universal = chase(workload.query, constraints).query
+    view_forward = next(dep for dep in constraints if dep.name.endswith("_fwd"))
+    return universal, view_forward
+
+
+def test_homomorphism_search_with_pruning(benchmark):
+    """Incremental equality pruning (the paper's technique) on a large universal plan."""
+    universal, constraint = _universal_plan_and_constraint()
+    count = benchmark(
+        lambda: count_homomorphisms(constraint.universal, constraint.premise, universal)
+    )
+    assert count >= 1
+
+
+def test_homomorphism_search_without_pruning(benchmark):
+    """The naive generate-and-test search, for comparison with the pruned version."""
+    universal, constraint = _universal_plan_and_constraint()
+    count = benchmark(
+        lambda: count_homomorphisms(
+            constraint.universal, constraint.premise, universal, prune_early=False
+        )
+    )
+    assert count >= 1
+
+
+def test_chase_cache_reuse(benchmark):
+    """Chase-result memoisation across the repeated subquery chases of the backchase."""
+    workload = build_ec2(stars=1, corners=4, views=2)
+    constraints = workload.catalog.constraints()
+    universal = chase(workload.query, constraints).query
+
+    def chase_subqueries_twice():
+        cache = ChaseCache(constraints)
+        variables = universal.variable_set
+        for var in sorted(variables):
+            subquery = universal.restrict_to(variables - {var})
+            if subquery is not None:
+                cache.chase(subquery)
+                cache.chase(subquery)
+        return cache
+
+    cache = benchmark(chase_subqueries_twice)
+    assert cache.hits >= cache.misses

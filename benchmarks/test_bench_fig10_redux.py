@@ -1,0 +1,23 @@
+"""Figure 10: end-to-end time reduction (optimization + execution) on EC2."""
+
+from conftest import report
+
+from repro.experiments.figures import figure10_time_reduction
+
+
+def test_fig10_time_reduction(benchmark):
+    """Redux is large and positive for moderate configurations; ReduxFirst extends the range."""
+    result = benchmark.pedantic(
+        figure10_time_reduction,
+        kwargs={"points": ((2, 2, 1), (2, 3, 1), (3, 2, 1), (3, 3, 1)), "size": 10000},
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    reduxes = [row[5] for row in result.rows]
+    redux_firsts = [row[6] for row in result.rows]
+    # ReduxFirst dominates Redux (it charges less optimization time) and the
+    # easy configurations show a clear positive reduction.
+    assert all(rf >= r for r, rf in zip(reduxes, redux_firsts))
+    assert max(redux_firsts) > 0.5
+    assert max(reduxes) > 0.3

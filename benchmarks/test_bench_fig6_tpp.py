@@ -1,0 +1,31 @@
+"""Figure 6: optimization time per generated plan on EC1 and EC3."""
+
+from conftest import report
+
+from repro.experiments.figures import figure6_ec1, figure6_ec3
+
+
+def test_fig6_ec1_time_per_plan(benchmark):
+    """FB's time per plan grows quickly with secondary indexes; OQF/OCS stay flat."""
+    result = benchmark.pedantic(
+        figure6_ec1,
+        kwargs={"settings": ((3, 0), (3, 1), (3, 2), (4, 0)), "timeout": 60},
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    # Shape check: on the hardest setting FB is at least as slow per plan as
+    # OQF, and OQF stays below one second per plan.
+    hardest = result.rows[2]
+    assert hardest[1] >= hardest[2]
+    assert all(row[2] < 5 for row in result.rows)
+
+
+def test_fig6_ec3_time_per_plan(benchmark):
+    """On EC3, OCS's per-plan cost stays low while FB grows with the path length."""
+    result = benchmark.pedantic(
+        figure6_ec3, kwargs={"class_counts": (2, 3, 4, 5), "timeout": 60}, iterations=1, rounds=1
+    )
+    report(result)
+    last = result.rows[-1]
+    assert last[2] <= last[1] or last[1] == 0  # OCS <= FB per plan on the largest query

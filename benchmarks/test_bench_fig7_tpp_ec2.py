@@ -1,0 +1,23 @@
+"""Figure 7: optimization time per generated plan on EC2 (the hardest configuration)."""
+
+from conftest import report
+
+from repro.experiments.figures import figure7_ec2
+
+
+def test_fig7_ec2_time_per_plan(benchmark):
+    """FB cannot keep pace with OQF and OCS as stars/corners/views grow."""
+    result = benchmark.pedantic(
+        figure7_ec2,
+        kwargs={"points": ((1, 1, 3), (2, 1, 3), (1, 2, 3), (2, 1, 4)), "timeout": 90},
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    for row in result.rows:
+        _, fb_tpp, oqf_tpp, ocs_tpp, _ = row
+        # OCS is never slower per plan than FB (it gives up completeness for speed).
+        assert ocs_tpp <= fb_tpp * 1.5 + 0.05
+    # On the multi-view settings OQF beats FB per plan.
+    assert result.rows[1][2] <= result.rows[1][1]
+    assert result.rows[3][2] <= result.rows[3][1]

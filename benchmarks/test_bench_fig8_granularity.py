@@ -1,0 +1,31 @@
+"""Figure 8: the effect of stratification granularity on optimization time."""
+
+from conftest import report
+
+from repro.experiments.figures import figure8_granularity
+from repro.workloads.ec2 import build_ec2
+from repro.workloads.ec3 import build_ec3
+
+
+def test_fig8_stratification_granularity(benchmark):
+    """Optimization time drops (roughly exponentially) as strata get smaller."""
+    result = benchmark.pedantic(
+        figure8_granularity,
+        kwargs={
+            "workloads": [
+                ("EC3 with 4 classes", build_ec3(4)),
+                ("EC3 with 5 classes", build_ec3(5)),
+                ("EC2 [2,3,1]", build_ec2(2, 3, 1)),
+            ],
+            "timeout": 120,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    # Stratum size 1 is the baseline (normalised to 1.0); the coarsest
+    # grouping is the most expensive for each workload.
+    first, last = result.rows[0], result.rows[-1]
+    for column in range(1, len(first)):
+        if isinstance(last[column], float):
+            assert last[column] >= 1.0

@@ -1,0 +1,23 @@
+"""Figure 9: detail of the plans generated for one EC2 instance, executed on data."""
+
+from conftest import report
+
+from repro.experiments.figures import figure9_plan_detail
+
+
+def test_fig9_plan_detail(benchmark):
+    """The [3 stars, 2 corners, 1 view] instance yields 8 plans; view-plans run faster."""
+    result = benchmark.pedantic(
+        figure9_plan_detail,
+        kwargs={"stars": 3, "corners": 2, "views": 1, "size": 5000},
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    assert len(result.rows) == 8  # the paper's table also lists 8 plans
+    assert all(row[-1] for row in result.rows)  # every plan returns the original answer
+    # The rows are sorted by execution time; the fastest plan uses at least
+    # one view and the slowest is the original all-corner-scans query.
+    assert result.rows[0][2] != "-"
+    assert result.rows[-1][2] == "-"
+    assert result.rows[0][1] <= result.rows[-1][1]

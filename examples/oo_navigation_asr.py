@@ -1,0 +1,59 @@
+"""Semantic optimization with inverse relationships and access support relations (EC3).
+
+An object-oriented schema has classes ``M1 -> M2 -> M3`` linked by
+many-to-many inverse relationships (``N`` = "next" references, ``P`` =
+"previous" references).  The physical schema contains an access support
+relation ``ASR1`` that materialises the *backwards* navigation from ``M3`` to
+``M1``.  The input query navigates forwards, so it does not map onto the ASR
+directly: only after the chase flips navigation directions using the inverse
+constraints can the backchase discover the ASR-based plan.
+
+This is the interaction the paper calls "non-trivial use of physical
+structures enabled only by semantic constraints".
+
+Run with::
+
+    python examples/oo_navigation_asr.py
+"""
+
+from repro import CBOptimizer, execute
+from repro.workloads.ec3 import build_ec3
+
+
+def main():
+    workload = build_ec3(classes=3, asrs=1)
+    query = workload.query
+
+    print("Navigation query (forward, along the N references):")
+    print(query)
+    print()
+
+    optimizer = CBOptimizer(workload.catalog)
+
+    # Phase 1+2 in one go: chase with inverse + ASR constraints, backchase.
+    result = optimizer.optimize(query, strategy="fb")
+    print(f"{result.plan_count} plans generated in {result.total_time:.3f}s:")
+    for number, plan in enumerate(result.plans, start=1):
+        uses_asr = "ASR1" in plan.collections_used()
+        print(f"--- plan {number}{' (uses the ASR)' if uses_asr else ''}:")
+        print(plan.query)
+    print()
+
+    # The OCS strategy stratifies the inverse constraints per relationship.
+    ocs = optimizer.optimize(query, strategy="ocs")
+    print(
+        f"OCS used {ocs.stratum_count} constraint strata and generated "
+        f"{ocs.plan_count} plans in {ocs.total_time:.3f}s"
+    )
+    print()
+
+    # Execute everything on a small synthetic instance to confirm equivalence.
+    database = workload.database(size=120, seed=1)
+    reference = {tuple(sorted(r.items())) for r in execute(query, database)}
+    for number, plan in enumerate(result.plans, start=1):
+        rows = {tuple(sorted(r.items())) for r in execute(plan.query, database)}
+        print(f"plan {number} returns the same answer: {rows == reference}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: optimize a query with the Chase & Backchase (C&B) optimizer.
+
+The scenario is Example 2.1 of "A Chase Too Far?": a selection on relation
+``R`` that cannot use the composite index ``I(A, B, C)`` directly, plus a
+referential integrity constraint from ``R.A`` into ``S.A``.  The C&B
+optimizer chases the query with the constraints describing the index and the
+foreign key, then backchases the universal plan into every minimal
+alternative plan.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Catalog, CBOptimizer, CostModel, PCQuery
+
+
+def build_catalog():
+    """Declare the logical schema, the physical schema and the constraints."""
+    catalog = Catalog()
+    catalog.add_relation("R", ["A", "B", "C", "E"])
+    catalog.add_relation("S", ["A"])
+    # Semantic constraint: every R.A value appears in S.A (foreign key).
+    catalog.add_foreign_key("R", ["A"], "S", ["A"])
+    # Physical structure: a composite index on R(A, B, C).
+    catalog.add_primary_index("I", "R", ["A", "B", "C"])
+    return catalog
+
+
+def main():
+    catalog = build_catalog()
+    query = PCQuery.parse(
+        """
+        select struct(A: r.A, E: r.E)
+        from R r
+        where r.B = 1 and r.C = 2
+        """
+    )
+
+    optimizer = CBOptimizer(catalog)
+
+    print("Input query:")
+    print(query)
+    print()
+
+    chase_result = optimizer.universal_plan(query)
+    print(f"Universal plan (after {chase_result.applied} chase steps):")
+    print(chase_result.query)
+    print()
+
+    result = optimizer.optimize(query, strategy="fb")
+    print(f"{result.plan_count} plans generated in {result.total_time:.3f}s:")
+    for number, plan in enumerate(result.plans, start=1):
+        print(f"--- plan {number}: {plan.describe(catalog)}")
+        print(plan.query)
+    print()
+
+    best = result.best_plan(CostModel(catalog))
+    print("Best plan according to the cost model:")
+    print(best.query)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro: a Chase & Backchase (C&B) query optimizer.
+
+A from-scratch Python reproduction of the system evaluated in
+*"A Chase Too Far?"* (Popa, Deutsch, Sahuguet, Tannen; SIGMOD 2000 / UPenn TR
+MS-CIS-99-28): path-conjunctive queries and embedded dependencies, the chase
+to a universal plan, the backchase enumeration of minimal plans, the OQF and
+OCS stratification strategies, an in-memory execution engine, and the three
+experimental configurations (EC1/EC2/EC3) together with drivers for every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Catalog, CBOptimizer, PCQuery
+
+    catalog = Catalog()
+    catalog.add_relation("R", ["A", "B", "C", "E"])
+    catalog.add_relation("S", ["A"])
+    catalog.add_foreign_key("R", ["A"], "S", ["A"])
+
+    query = PCQuery.parse(
+        "select struct(A: r.A, E: r.E) from R r where r.B = 1 and r.C = 2"
+    )
+    plans = CBOptimizer(catalog).optimize(query, strategy="fb").plans
+"""
+
+from repro.chase.optimizer import CBOptimizer, OptimizationResult
+from repro.chase.plans import Plan
+from repro.cq.query import PCQuery
+from repro.engine.cost import CostModel
+from repro.engine.database import Database
+from repro.engine.executor import execute
+from repro.errors import (
+    ChaseError,
+    ConstraintError,
+    ExecutionError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.schema.catalog import Catalog, Statistics
+from repro.schema.constraints import Dependency, Skeleton
+from repro.workloads import build_ec1, build_ec2, build_ec3
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CBOptimizer",
+    "Catalog",
+    "ChaseError",
+    "ConstraintError",
+    "CostModel",
+    "Database",
+    "Dependency",
+    "ExecutionError",
+    "OptimizationResult",
+    "PCQuery",
+    "ParseError",
+    "Plan",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "Skeleton",
+    "Statistics",
+    "__version__",
+    "build_ec1",
+    "build_ec2",
+    "build_ec3",
+    "execute",
+]

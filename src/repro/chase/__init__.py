@@ -1,0 +1,42 @@
+"""The Chase & Backchase optimizer (the paper's primary contribution).
+
+* :mod:`repro.chase.chase` -- chase steps and the construction of the
+  universal plan.
+* :mod:`repro.chase.implication` -- chase-based dependency implication and
+  constraint-aware containment/equivalence.
+* :mod:`repro.chase.backchase` -- the full backchase (FB): top-down
+  enumeration of the minimal equivalent subqueries of the universal plan.
+* :mod:`repro.chase.stratify` -- the two stratification strategies: On-line
+  Query Fragmentation (OQF, Algorithm 3.1/B.1) and Off-line Constraint
+  Stratification (OCS, Algorithm 3.3/C.1).
+* :mod:`repro.chase.plans` -- plan objects and plan assembly.
+* :mod:`repro.chase.optimizer` -- the :class:`CBOptimizer` façade.
+"""
+
+from repro.chase.chase import ChaseResult, chase, chase_step
+from repro.chase.backchase import BackchaseResult, FullBackchase
+from repro.chase.implication import contained_under, equivalent_under, implies
+from repro.chase.optimizer import CBOptimizer, OptimizationResult
+from repro.chase.plans import Plan
+from repro.chase.stratify import (
+    QueryFragment,
+    decompose_query,
+    stratify_constraints,
+)
+
+__all__ = [
+    "BackchaseResult",
+    "CBOptimizer",
+    "ChaseResult",
+    "FullBackchase",
+    "OptimizationResult",
+    "Plan",
+    "QueryFragment",
+    "chase",
+    "chase_step",
+    "contained_under",
+    "decompose_query",
+    "equivalent_under",
+    "implies",
+    "stratify_constraints",
+]

@@ -1,0 +1,197 @@
+"""The full backchase (FB): minimal equivalent subqueries of the universal plan.
+
+The backchase is implemented top-down, exactly as described in Section 4 of
+the paper: starting from the universal plan, it repeatedly tries to remove
+one binding at a time and recursively minimises every equivalent subquery it
+reaches.  A subquery with no equivalent strict subquery is minimal and is
+emitted as a plan.
+
+Equivalence of a candidate subquery with the original query is checked with
+the chase-based containment test of :mod:`repro.chase.implication`; one of
+the two containments always holds for subqueries of the universal plan (the
+original query maps into them), so only the other direction is chased.  The
+chase results are memoised across candidates (:class:`ChaseCache`), and the
+set of explored binding subsets is memoised so each subquery is inspected at
+most once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chase.implication import ChaseCache, _has_containment_mapping
+from repro.chase.plans import Plan, dedupe_isomorphic_plans
+
+
+@dataclass
+class BackchaseResult:
+    """Outcome of a backchase run.
+
+    Attributes
+    ----------
+    plans:
+        The minimal equivalent subqueries found, as :class:`Plan` objects.
+    subqueries_explored:
+        Number of distinct binding subsets inspected.
+    equivalence_checks:
+        Number of chase-based equivalence tests performed.
+    elapsed:
+        Wall-clock seconds spent in the backchase.
+    timed_out:
+        ``True`` when the exploration hit the timeout and the plan list may
+        be incomplete.
+    """
+
+    plans: list = field(default_factory=list)
+    subqueries_explored: int = 0
+    equivalence_checks: int = 0
+    elapsed: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def plan_count(self):
+        return len(self.plans)
+
+    def time_per_plan(self):
+        """The paper's normalised measure: optimization time / generated plans."""
+        if not self.plans:
+            return float("inf")
+        return self.elapsed / len(self.plans)
+
+
+class BackchaseTimeout(Exception):
+    """Internal signal used to unwind the exploration when the timeout hits."""
+
+
+class FullBackchase:
+    """Top-down backchase of a universal plan against the original query.
+
+    Parameters
+    ----------
+    original:
+        The original query ``Q``.
+    dependencies:
+        The constraint set used for the equivalence checks (typically the
+        same set used to build the universal plan).
+    timeout:
+        Optional wall-clock budget in seconds; on expiry the plans found so
+        far are returned with ``timed_out=True`` (this mirrors the timeouts
+        in the paper's experiments).
+    strategy_label:
+        Label recorded on the produced :class:`Plan` objects.
+    """
+
+    def __init__(self, original, dependencies, timeout=None, strategy_label="fb"):
+        self.original = original
+        self.dependencies = list(dependencies)
+        self.timeout = timeout
+        self.strategy_label = strategy_label
+        self.chase_cache = ChaseCache(self.dependencies)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self, universal_plan):
+        """Enumerate the minimal equivalent subqueries of ``universal_plan``."""
+        start = time.perf_counter()
+        deadline = start + self.timeout if self.timeout is not None else None
+        state = _ExplorationState(deadline)
+        try:
+            self._explore(universal_plan, universal_plan.variable_set, state)
+        except BackchaseTimeout:
+            state.timed_out = True
+        elapsed = time.perf_counter() - start
+        plans = dedupe_isomorphic_plans(
+            [Plan(query, strategy=self.strategy_label) for query in state.plans.values()]
+        )
+        return BackchaseResult(
+            plans=plans,
+            subqueries_explored=state.explored,
+            equivalence_checks=state.equivalence_checks,
+            elapsed=elapsed,
+            timed_out=state.timed_out,
+        )
+
+    # ------------------------------------------------------------------ #
+    # exploration
+    # ------------------------------------------------------------------ #
+    def _explore(self, universal_plan, variables, state):
+        """Minimise the subquery induced by ``variables`` (known equivalent)."""
+        if deadline_passed(state.deadline):
+            raise BackchaseTimeout()
+        found_smaller = False
+        for var in sorted(variables):
+            remaining = variables - {var}
+            verdict = self._equivalent_subset(universal_plan, remaining, state)
+            if verdict is None:
+                continue
+            found_smaller = True
+            if not state.is_visited(remaining):
+                state.mark_visited(remaining)
+                self._explore(universal_plan, remaining, state)
+        if not found_smaller:
+            subquery = universal_plan.restrict_to(variables)
+            if subquery is not None:
+                state.plans[frozenset(variables)] = subquery
+
+    def _equivalent_subset(self, universal_plan, variables, state):
+        """Return the restricted subquery when it is equivalent to the original."""
+        key = frozenset(variables)
+        cached = state.verdicts.get(key)
+        if cached is not None:
+            return cached if cached is not _NOT_EQUIVALENT else None
+        if deadline_passed(state.deadline):
+            raise BackchaseTimeout()
+        state.explored += 1
+        subquery = universal_plan.restrict_to(variables)
+        if subquery is None:
+            state.verdicts[key] = _NOT_EQUIVALENT
+            return None
+        state.equivalence_checks += 1
+        # Direction 1: the subquery is contained in the original under the
+        # constraints (chase the subquery, map the original into it).
+        chased = self.chase_cache.chase(subquery)
+        if not _has_containment_mapping(self.original, chased):
+            state.verdicts[key] = _NOT_EQUIVALENT
+            return None
+        # Direction 2: the original is contained in the subquery.  For
+        # subqueries of the universal plan this always holds (the universal
+        # plan is the chased original and the subquery maps into it by
+        # construction of the restriction), so it is checked cheaply against
+        # the universal plan itself.
+        if not _has_containment_mapping(subquery, universal_plan):
+            state.verdicts[key] = _NOT_EQUIVALENT
+            return None
+        state.verdicts[key] = subquery
+        return subquery
+
+
+class _ExplorationState:
+    """Mutable bookkeeping shared across the recursive exploration."""
+
+    def __init__(self, deadline):
+        self.deadline = deadline
+        self.visited = set()
+        self.verdicts = {}
+        self.plans = {}
+        self.explored = 0
+        self.equivalence_checks = 0
+        self.timed_out = False
+
+    def is_visited(self, variables):
+        return frozenset(variables) in self.visited
+
+    def mark_visited(self, variables):
+        self.visited.add(frozenset(variables))
+
+
+_NOT_EQUIVALENT = object()
+
+
+def deadline_passed(deadline):
+    """Return ``True`` when the optional deadline has expired."""
+    return deadline is not None and time.perf_counter() > deadline
+
+
+__all__ = ["BackchaseResult", "FullBackchase", "deadline_passed"]

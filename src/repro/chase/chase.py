@@ -1,0 +1,250 @@
+"""The chase: rewriting a query with embedded dependencies.
+
+Given a query ``Q`` and a set of dependencies ``D``, the chase repeatedly
+finds a homomorphism from the universal part of a dependency into ``Q`` that
+cannot be extended to its existential part, and extends ``Q`` with the
+missing bindings and conditions (for TGDs) or the missing equalities (for
+EGDs).  When no dependency applies any more, the result is the *universal
+plan*: a query equivalent to ``Q`` under ``D`` that explicitly mentions every
+physical structure and semantically related collection relevant to ``Q``.
+
+The implementation follows the feasibility techniques of Section 3.1 of the
+paper:
+
+* equality reasoning via congruence closure (:mod:`repro.cq.congruence`);
+* incremental pruning of candidate variable mappings
+  (:mod:`repro.cq.homomorphism`);
+* the satisfaction check before each step (a chase step only fires when the
+  existential part cannot already be matched), which both guarantees
+  termination on the paper's workloads and avoids redundant rechasing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ChaseError
+from repro.cq.homomorphism import find_homomorphism, find_homomorphisms
+from repro.cq.query import PCQuery, fresh_name
+from repro.lang.ast import Binding, Var, substitute
+
+
+@dataclass
+class ChaseStep:
+    """Record of one applied chase step (for tracing and reports)."""
+
+    dependency: str
+    added_variables: tuple
+    added_conditions: tuple
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of chasing a query with a set of dependencies.
+
+    Attributes
+    ----------
+    query:
+        The chased query (the universal plan when chasing with the full set).
+    steps:
+        The chase steps that were applied, in order.
+    rounds:
+        Number of passes over the dependency set.
+    elapsed:
+        Wall-clock time spent, in seconds.
+    """
+
+    query: PCQuery
+    steps: list = field(default_factory=list)
+    rounds: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def applied(self):
+        """Number of chase steps applied."""
+        return len(self.steps)
+
+
+def applicable_homomorphisms(query, dependency, closure=None):
+    """Yield homomorphisms under which ``dependency`` is *violated* by ``query``.
+
+    A homomorphism from the universal part into the query is violated when it
+    cannot be extended to the existential part (TGD) or when some conclusion
+    equality does not follow from the query's where clause (EGD).
+    """
+    closure = closure if closure is not None else query.congruence()
+    for mapping in find_homomorphisms(
+        dependency.universal, dependency.premise, query, target_closure=closure
+    ):
+        if dependency.is_egd:
+            violated = [
+                condition
+                for condition in dependency.conclusion
+                if not closure.equal(
+                    substitute(condition.left, mapping), substitute(condition.right, mapping)
+                )
+            ]
+            if violated:
+                yield mapping, violated
+        else:
+            extension = find_homomorphism(
+                dependency.existential,
+                dependency.conclusion,
+                query,
+                target_closure=closure,
+                initial=mapping,
+            )
+            if extension is None:
+                yield mapping, None
+
+
+def chase_step(query, dependency, closure=None):
+    """Apply one chase step of ``dependency`` to ``query`` if it is violated.
+
+    Returns ``(new_query, step)`` when a step was applied, or ``None`` when
+    the dependency is satisfied (no violated homomorphism exists).
+    """
+    closure = closure if closure is not None else query.congruence()
+    for mapping, violated in applicable_homomorphisms(query, dependency, closure):
+        return _apply(query, dependency, mapping, violated)
+    return None
+
+
+def _apply(query, dependency, mapping, violated_conclusions):
+    """Extend ``query`` according to one violated homomorphism."""
+    if dependency.is_egd:
+        new_conditions = tuple(condition.substitute(mapping) for condition in violated_conclusions)
+        step = ChaseStep(dependency.name, (), new_conditions)
+        return query.add(conditions=new_conditions), step
+
+    taken = set(query.variables) | set(mapping)
+    extended = dict(mapping)
+    new_bindings = []
+    for binding in dependency.existential:
+        fresh = fresh_name(binding.var, taken)
+        taken.add(fresh)
+        extended[binding.var] = Var(fresh)
+        new_bindings.append(Binding(fresh, substitute(binding.range, extended)))
+    new_conditions = tuple(condition.substitute(extended) for condition in dependency.conclusion)
+    step = ChaseStep(
+        dependency.name,
+        tuple(binding.var for binding in new_bindings),
+        new_conditions,
+    )
+    return query.add(bindings=new_bindings, conditions=new_conditions), step
+
+
+def collapse_duplicate_bindings(query):
+    """Merge bindings that denote the same element of the same collection.
+
+    The paper's prototype compiles queries into a congruence-closure based
+    canonical database in which two loop variables that are provably equal
+    and range over provably equal collections are a single node.  The chase
+    implemented here always introduces fresh variables, so after the fixpoint
+    this pass merges every later binding that duplicates an earlier one
+    (equal variable and equal range under the where clause), rewriting the
+    remaining ranges, conditions and outputs accordingly.  Without this merge
+    the backchase would enumerate spurious isomorphic variants of the same
+    minimal plan.
+    """
+    closure = query.congruence()
+    mapping = {}
+    kept = []
+    for binding in query.bindings:
+        range_path = substitute(binding.range, mapping)
+        duplicate = None
+        for existing in kept:
+            if closure.equal(Var(existing.var), Var(binding.var)) and closure.equal(
+                existing.range, range_path
+            ):
+                duplicate = existing
+                break
+        if duplicate is None:
+            kept.append(Binding(binding.var, range_path))
+        else:
+            mapping[binding.var] = Var(duplicate.var)
+    if not mapping:
+        return query
+    conditions = []
+    seen = set()
+    for condition in query.conditions:
+        rewritten = condition.substitute(mapping).normalized()
+        if rewritten.left == rewritten.right or rewritten in seen:
+            continue
+        seen.add(rewritten)
+        conditions.append(rewritten)
+    output = tuple((label, substitute(path, mapping)) for label, path in query.output)
+    return PCQuery(output, tuple(kept), tuple(conditions))
+
+
+def chase(query, dependencies, max_rounds=100, max_size=500):
+    """Chase ``query`` with ``dependencies`` to a fixpoint.
+
+    Parameters
+    ----------
+    query:
+        The query to chase.
+    dependencies:
+        Iterable of :class:`~repro.schema.constraints.Dependency`.
+    max_rounds:
+        Safety bound on the number of passes over the dependency set; the
+        chase terminates on the paper's constraint classes, but arbitrary
+        dependency sets may diverge.
+    max_size:
+        Safety bound on the number of bindings of the chased query.
+
+    Returns
+    -------
+    ChaseResult
+
+    Raises
+    ------
+    ChaseError
+        If the fixpoint is not reached within the safety bounds.
+    """
+    start = time.perf_counter()
+    dependencies = list(dependencies)
+    current = query
+    steps = []
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ChaseError(f"chase did not terminate within {max_rounds} rounds")
+        changed = False
+        for dependency in dependencies:
+            # Re-apply the same dependency until it is satisfied before moving
+            # on; each application may enable new homomorphisms.
+            while True:
+                outcome = chase_step(current, dependency)
+                if outcome is None:
+                    break
+                current, step = outcome
+                steps.append(step)
+                changed = True
+                if current.size() > max_size:
+                    raise ChaseError(
+                        f"chased query exceeded {max_size} bindings; "
+                        "the dependency set is probably not terminating"
+                    )
+        if not changed:
+            break
+    current = collapse_duplicate_bindings(current)
+    return ChaseResult(current, steps, rounds, time.perf_counter() - start)
+
+
+def universal_plan(query, dependencies, **kwargs):
+    """Convenience wrapper returning just the chased query (the universal plan)."""
+    return chase(query, dependencies, **kwargs).query
+
+
+__all__ = [
+    "ChaseResult",
+    "ChaseStep",
+    "applicable_homomorphisms",
+    "chase",
+    "chase_step",
+    "collapse_duplicate_bindings",
+    "universal_plan",
+]

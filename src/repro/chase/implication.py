@@ -1,0 +1,126 @@
+"""Chase-based dependency implication and constraint-aware equivalence.
+
+The backchase needs to decide, for a candidate subquery ``SQ`` of the
+universal plan, whether ``SQ`` is equivalent to the original query ``Q``
+under the constraint set ``D``.  Following the paper (Appendix A), this
+reduces to chasing: ``Q1 is contained in Q2`` under ``D`` iff there is a
+containment mapping from ``Q2`` into ``chase(Q1, D)``.
+
+The same machinery decides dependency implication ``D implies d`` (used to
+check that a single backchase step is justified, and exposed for tests): the
+premise of ``d`` is frozen into a canonical query, chased with ``D``, and the
+conclusion is checked against the result.
+"""
+
+from __future__ import annotations
+
+from repro.cq.containment import outputs_match
+from repro.cq.homomorphism import find_homomorphism, find_homomorphisms
+from repro.cq.query import PCQuery
+from repro.lang.ast import Var, substitute
+from repro.chase.chase import chase
+
+
+class ChaseCache:
+    """Memoises chase results keyed by query signature.
+
+    The backchase chases many closely related subqueries; reusing results for
+    identical subqueries (reached through different removal orders) is one of
+    the implementation techniques that keeps the prototype usable.
+    """
+
+    def __init__(self, dependencies, **chase_kwargs):
+        self.dependencies = list(dependencies)
+        self.chase_kwargs = chase_kwargs
+        self._cache = {}
+        self.hits = 0
+        self.misses = 0
+
+    def chase(self, query):
+        """Return the chased query (cached)."""
+        key = query.signature()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = chase(query, self.dependencies, **self.chase_kwargs).query
+        self._cache[key] = result
+        return result
+
+
+def contained_under(query, other, dependencies, chase_cache=None):
+    """Return ``True`` when ``query ⊆ other`` under ``dependencies``.
+
+    Decided by chasing ``query`` with the dependencies and looking for a
+    containment mapping (an output-preserving homomorphism) from ``other``
+    into the result.
+    """
+    if chase_cache is not None:
+        chased = chase_cache.chase(query)
+    else:
+        chased = chase(query, dependencies).query
+    return _has_containment_mapping(other, chased)
+
+
+def equivalent_under(query, other, dependencies, chase_cache=None):
+    """Return ``True`` when the two queries are equivalent under ``dependencies``."""
+    return contained_under(query, other, dependencies, chase_cache) and contained_under(
+        other, query, dependencies, chase_cache
+    )
+
+
+def _has_containment_mapping(source, target):
+    """Check for an output-preserving homomorphism from ``source`` into ``target``."""
+    closure = target.congruence()
+    for mapping in find_homomorphisms(
+        source.bindings, source.conditions, target, target_closure=closure
+    ):
+        if outputs_match(source, target, mapping, target_closure=closure):
+            return True
+    return False
+
+
+def implies(dependencies, candidate, chase_cache=None):
+    """Return ``True`` when ``dependencies`` imply the dependency ``candidate``.
+
+    The standard chase-based implication test: freeze the universal part of
+    ``candidate`` into a canonical query, chase it with ``dependencies``, and
+    check that the existential part (with its conclusion) can be matched, or,
+    for an EGD, that the conclusion equalities hold in the chased query.
+    """
+    premise_query = PCQuery.create(
+        output=[(binding.var, Var(binding.var)) for binding in candidate.universal],
+        bindings=candidate.universal,
+        conditions=candidate.premise,
+    )
+    if chase_cache is not None:
+        chased = chase_cache.chase(premise_query)
+    else:
+        chased = chase(premise_query, dependencies).query
+    closure = chased.congruence()
+    # The frozen universal variables must map to their own images.  The chase
+    # may have merged provably-equal frozen variables (an EGD firing followed
+    # by the duplicate-binding collapse), so the image of each variable is
+    # read off the premise query's output rather than assumed to be itself.
+    identity = {
+        binding.var: chased.output_path(binding.var) for binding in candidate.universal
+    }
+    if candidate.is_egd:
+        return all(
+            closure.equal(
+                substitute(condition.left, identity), substitute(condition.right, identity)
+            )
+            for condition in candidate.conclusion
+        )
+    extension = find_homomorphism(
+        candidate.existential,
+        candidate.conclusion,
+        chased,
+        target_closure=closure,
+        initial=identity,
+    )
+    return extension is not None
+
+
+__all__ = ["ChaseCache", "contained_under", "equivalent_under", "implies"]

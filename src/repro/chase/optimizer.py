@@ -1,0 +1,324 @@
+"""The C&B optimizer façade: chase, then backchase under a chosen strategy.
+
+:class:`CBOptimizer` glues the pieces together:
+
+* build the constraint set from a :class:`~repro.schema.catalog.Catalog` (or
+  accept an explicit list),
+* chase the input query into the universal plan,
+* enumerate plans with one of the three strategies evaluated in the paper:
+  the full backchase (``"fb"``), on-line query fragmentation (``"oqf"``) or
+  off-line constraint stratification (``"ocs"``),
+* optionally rank the plans with a cost model and pick the best one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ChaseError
+from repro.chase.backchase import FullBackchase
+from repro.chase.chase import chase
+from repro.chase.plans import Plan, dedupe_plans
+from repro.chase.stratify import assemble_plan, decompose_query, stratify_constraints
+
+STRATEGIES = ("fb", "oqf", "ocs")
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the experiments measure about one optimizer run.
+
+    Attributes
+    ----------
+    original:
+        The input query.
+    strategy:
+        ``"fb"``, ``"oqf"`` or ``"ocs"``.
+    plans:
+        The generated plans (:class:`Plan` objects).  The original query is
+        always among them (possibly rewritten over the physical schema).
+    universal_plan:
+        The chased query (for ``"fb"``; fragment/stage universal plans are
+        not retained).
+    chase_time / backchase_time:
+        Wall-clock seconds spent in each phase.
+    subqueries_explored / equivalence_checks:
+        Search-effort counters summed over fragments/stages.
+    timed_out:
+        ``True`` when a timeout interrupted the search (plan list may be
+        incomplete).
+    fragment_count / stratum_count:
+        Decomposition sizes for OQF / OCS (0 otherwise).
+    """
+
+    original: object
+    strategy: str
+    plans: list = field(default_factory=list)
+    universal_plan: object = None
+    chase_time: float = 0.0
+    backchase_time: float = 0.0
+    subqueries_explored: int = 0
+    equivalence_checks: int = 0
+    timed_out: bool = False
+    fragment_count: int = 0
+    stratum_count: int = 0
+
+    @property
+    def plan_count(self):
+        return len(self.plans)
+
+    @property
+    def total_time(self):
+        """Total optimization time (chase + backchase)."""
+        return self.chase_time + self.backchase_time
+
+    def time_per_plan(self):
+        """The paper's normalised measure: optimization time per generated plan."""
+        if not self.plans:
+            return float("inf")
+        return self.total_time / len(self.plans)
+
+    def plan_queries(self):
+        """Return the plans as plain queries."""
+        return [plan.query for plan in self.plans]
+
+    def best_plan(self, cost_function):
+        """Return the cheapest plan according to ``cost_function(query) -> float``."""
+        if not self.plans:
+            return None
+        best = min(self.plans, key=lambda plan: cost_function(plan.query))
+        best.cost = cost_function(best.query)
+        return best
+
+
+class CBOptimizer:
+    """Chase & Backchase optimizer over a catalog (or explicit constraint set).
+
+    Parameters
+    ----------
+    catalog:
+        A :class:`~repro.schema.catalog.Catalog`; provides both the
+        constraints and the skeletons needed by OQF.
+    constraints:
+        Optional explicit constraint list overriding the catalog's.
+    timeout:
+        Default per-optimization wall-clock budget in seconds (``None`` for
+        unlimited); can be overridden per call.
+    """
+
+    def __init__(self, catalog=None, constraints=None, timeout=None):
+        if catalog is None and constraints is None:
+            raise ValueError("CBOptimizer needs a catalog or an explicit constraint list")
+        self.catalog = catalog
+        self._constraints = list(constraints) if constraints is not None else None
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # constraint access
+    # ------------------------------------------------------------------ #
+    def constraints(self):
+        """Return the constraint set used for chasing and equivalence checks."""
+        if self._constraints is not None:
+            return list(self._constraints)
+        return list(self.catalog.constraints())
+
+    def skeletons(self):
+        """Return the skeletons available for OQF fragmentation."""
+        if self.catalog is None:
+            return []
+        return self.catalog.skeletons()
+
+    def semantic_constraints(self):
+        """Return the semantic (non-skeleton) constraints."""
+        if self.catalog is None:
+            skeleton_names = set()
+        else:
+            skeleton_names = {
+                dep.name for skeleton in self.skeletons() for dep in skeleton.constraints
+            }
+        return [dep for dep in self.constraints() if dep.name not in skeleton_names]
+
+    # ------------------------------------------------------------------ #
+    # chase phase
+    # ------------------------------------------------------------------ #
+    def universal_plan(self, query, constraints=None):
+        """Chase ``query`` with the constraint set and return the ChaseResult."""
+        return chase(query, constraints if constraints is not None else self.constraints())
+
+    # ------------------------------------------------------------------ #
+    # optimization
+    # ------------------------------------------------------------------ #
+    def optimize(self, query, strategy="fb", constraints=None, timeout=None):
+        """Generate alternative plans for ``query`` under the given strategy."""
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        query.validate()
+        timeout = timeout if timeout is not None else self.timeout
+        constraints = constraints if constraints is not None else self.constraints()
+        if strategy == "fb":
+            return self._optimize_fb(query, constraints, timeout)
+        if strategy == "oqf":
+            return self._optimize_oqf(query, constraints, timeout)
+        return self._optimize_ocs(query, constraints, timeout)
+
+    def optimize_with_strata(self, query, strata, timeout=None):
+        """Run the OCS pipeline with an explicitly chosen stratification.
+
+        Used by the stratification-granularity experiment (Figure 8), which
+        varies the number of strata for a fixed query, and available to users
+        who want to hand-tune the constraint grouping.
+        """
+        query.validate()
+        timeout = timeout if timeout is not None else self.timeout
+        constraints = [dependency for stratum in strata for dependency in stratum]
+        return self._optimize_ocs(query, constraints, timeout, strata=[list(s) for s in strata])
+
+    # ------------------------------------------------------------------ #
+    # FB
+    # ------------------------------------------------------------------ #
+    def _optimize_fb(self, query, constraints, timeout, strategy_label="fb"):
+        chase_result = chase(query, constraints)
+        backchaser = FullBackchase(query, constraints, timeout=timeout, strategy_label=strategy_label)
+        backchase_result = backchaser.run(chase_result.query)
+        return OptimizationResult(
+            original=query,
+            strategy=strategy_label,
+            plans=backchase_result.plans,
+            universal_plan=chase_result.query,
+            chase_time=chase_result.elapsed,
+            backchase_time=backchase_result.elapsed,
+            subqueries_explored=backchase_result.subqueries_explored,
+            equivalence_checks=backchase_result.equivalence_checks,
+            timed_out=backchase_result.timed_out,
+        )
+
+    # ------------------------------------------------------------------ #
+    # OQF
+    # ------------------------------------------------------------------ #
+    def _optimize_oqf(self, query, constraints, timeout):
+        start = time.perf_counter()
+        skeletons = self.skeletons()
+        semantic = self.semantic_constraints() if self.catalog is not None else [
+            dep for dep in constraints if dep.kind == "semantic"
+        ]
+        decomposition = decompose_query(query, skeletons)
+        chase_time = 0.0
+        backchase_time = 0.0
+        explored = 0
+        checks = 0
+        timed_out = False
+        fragment_plan_sets = []
+        deadline = (start + timeout) if timeout is not None else None
+        for fragment in decomposition.fragments:
+            fragment_constraints = list(semantic)
+            for skeleton in fragment.skeletons:
+                fragment_constraints.extend(skeleton.constraints)
+                fragment_constraints.extend(self._extra_constraints_for(skeleton))
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            chase_result = chase(fragment.query, fragment_constraints)
+            chase_time += chase_result.elapsed
+            backchaser = FullBackchase(
+                fragment.query, fragment_constraints, timeout=remaining, strategy_label="oqf"
+            )
+            fragment_result = backchaser.run(chase_result.query)
+            backchase_time += fragment_result.elapsed
+            explored += fragment_result.subqueries_explored
+            checks += fragment_result.equivalence_checks
+            timed_out = timed_out or fragment_result.timed_out
+            fragment_plan_sets.append([plan.query for plan in fragment_result.plans])
+
+        plans = []
+        for combination in _product(fragment_plan_sets):
+            assembled = assemble_plan(decomposition, list(combination))
+            plans.append(Plan(assembled, strategy="oqf"))
+        plans = dedupe_plans(plans)
+        total = time.perf_counter() - start
+        return OptimizationResult(
+            original=query,
+            strategy="oqf",
+            plans=plans,
+            universal_plan=None,
+            chase_time=chase_time,
+            backchase_time=total - chase_time,
+            subqueries_explored=explored,
+            equivalence_checks=checks,
+            timed_out=timed_out,
+            fragment_count=decomposition.fragment_count,
+        )
+
+    def _extra_constraints_for(self, skeleton):
+        """Return the auxiliary constraints of a structure (e.g. non-emptiness)."""
+        if self.catalog is None or skeleton.structure is None:
+            return []
+        from repro.schema.compile import compile_structure
+
+        _, extras = compile_structure(skeleton.structure)
+        return list(extras)
+
+    # ------------------------------------------------------------------ #
+    # OCS
+    # ------------------------------------------------------------------ #
+    def _optimize_ocs(self, query, constraints, timeout, strata=None):
+        start = time.perf_counter()
+        strata = strata if strata is not None else stratify_constraints(constraints)
+        deadline = (start + timeout) if timeout is not None else None
+        chase_time = 0.0
+        explored = 0
+        checks = 0
+        timed_out = False
+        current = [query]
+        for stratum in strata:
+            next_stage = []
+            for stage_query in current:
+                remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+                chase_result = chase(stage_query, stratum)
+                chase_time += chase_result.elapsed
+                backchaser = FullBackchase(
+                    stage_query, stratum, timeout=remaining, strategy_label="ocs"
+                )
+                stage_result = backchaser.run(chase_result.query)
+                explored += stage_result.subqueries_explored
+                checks += stage_result.equivalence_checks
+                timed_out = timed_out or stage_result.timed_out
+                next_stage.extend(plan.query for plan in stage_result.plans)
+            current = _dedupe_queries(next_stage) if next_stage else current
+        plans = dedupe_plans([Plan(plan_query, strategy="ocs") for plan_query in current])
+        total = time.perf_counter() - start
+        return OptimizationResult(
+            original=query,
+            strategy="ocs",
+            plans=plans,
+            universal_plan=None,
+            chase_time=chase_time,
+            backchase_time=total - chase_time,
+            subqueries_explored=explored,
+            equivalence_checks=checks,
+            timed_out=timed_out,
+            stratum_count=len(strata),
+        )
+
+
+def _product(list_of_lists):
+    """Cartesian product that degrades gracefully on empty inputs."""
+    if not list_of_lists:
+        return
+    if any(not options for options in list_of_lists):
+        return
+    import itertools
+
+    yield from itertools.product(*list_of_lists)
+
+
+def _dedupe_queries(queries):
+    seen = set()
+    unique = []
+    for query in queries:
+        key = query.signature()
+        if key not in seen:
+            seen.add(key)
+            unique.append(query)
+    return unique
+
+
+__all__ = ["CBOptimizer", "OptimizationResult", "STRATEGIES"]

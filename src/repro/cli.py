@@ -1,0 +1,132 @@
+"""Command-line entry point for running the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list
+    python -m repro.cli fig5-ec1
+    python -m repro.cli plans-table
+    python -m repro.cli fig9 --stars 3 --corners 2 --views 1 --size 5000
+    python -m repro.cli fig10 --size 10000
+    python -m repro.cli optimize ec2 --stars 2 --corners 3 --views 1 --strategy oqf
+
+The ``fig*`` / ``plans-table`` commands print the same rows the corresponding
+figures and tables of the paper report; ``optimize`` runs a single optimizer
+invocation on one of the experimental configurations and prints the plans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures
+from repro.workloads import build_ec1, build_ec2, build_ec3
+
+#: Experiment name -> (driver, keyword arguments it understands).
+EXPERIMENTS = {
+    "fig5-ec1": (figures.figure5_ec1, ()),
+    "fig5-ec2": (figures.figure5_ec2, ()),
+    "fig5-ec3": (figures.figure5_ec3, ()),
+    "plans-table": (figures.plans_table_ec2, ("timeout",)),
+    "fig6-ec1": (figures.figure6_ec1, ("timeout",)),
+    "fig6-ec3": (figures.figure6_ec3, ("timeout",)),
+    "fig7-ec2": (figures.figure7_ec2, ("timeout",)),
+    "fig8": (figures.figure8_granularity, ("timeout",)),
+    "fig9": (figures.figure9_plan_detail, ("stars", "corners", "views", "size", "timeout")),
+    "fig10": (figures.figure10_time_reduction, ("size", "timeout")),
+}
+
+
+def build_parser():
+    """Build the argparse parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'A Chase Too Far?' (SIGMOD 2000)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    for name in EXPERIMENTS:
+        experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
+        _add_common_options(experiment)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="run one optimizer invocation on a workload and print the plans"
+    )
+    optimize.add_argument("workload", choices=["ec1", "ec2", "ec3"])
+    optimize.add_argument("--strategy", choices=["fb", "oqf", "ocs"], default="fb")
+    _add_common_options(optimize)
+    optimize.add_argument("--relations", type=int, default=3, help="EC1: number of relations")
+    optimize.add_argument(
+        "--secondary-indexes", type=int, default=0, help="EC1: number of secondary indexes"
+    )
+    optimize.add_argument("--classes", type=int, default=3, help="EC3: number of classes")
+    optimize.add_argument("--asrs", type=int, default=0, help="EC3: number of ASRs")
+    return parser
+
+
+def _add_common_options(subparser):
+    subparser.add_argument("--stars", type=int, default=None, help="EC2: number of stars")
+    subparser.add_argument("--corners", type=int, default=None, help="EC2: corners per star")
+    subparser.add_argument("--views", type=int, default=None, help="EC2: views per star")
+    subparser.add_argument("--size", type=int, default=None, help="tuples per relation")
+    subparser.add_argument("--timeout", type=float, default=None, help="backchase timeout (s)")
+
+
+def _experiment_kwargs(args, accepted):
+    kwargs = {}
+    for name in accepted:
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
+    return kwargs
+
+
+def _run_experiment(name, args, out):
+    driver, accepted = EXPERIMENTS[name]
+    result = driver(**_experiment_kwargs(args, accepted))
+    print(result.render(), file=out)
+    return 0
+
+
+def _build_workload(args):
+    if args.workload == "ec1":
+        return build_ec1(args.relations, args.secondary_indexes)
+    if args.workload == "ec2":
+        return build_ec2(args.stars or 2, args.corners or 3, args.views or 1)
+    return build_ec3(args.classes, args.asrs)
+
+
+def _run_optimize(args, out):
+    workload = _build_workload(args)
+    optimizer = workload.optimizer(timeout=args.timeout)
+    result = optimizer.optimize(workload.query, strategy=args.strategy)
+    print(
+        f"{args.workload.upper()} {workload.params}: {result.plan_count} plans "
+        f"in {result.total_time:.3f}s with {args.strategy.upper()} "
+        f"({result.subqueries_explored} subqueries explored"
+        f"{', timed out' if result.timed_out else ''})",
+        file=out,
+    )
+    for number, plan in enumerate(result.plans, start=1):
+        print(f"--- plan {number}: {plan.describe(workload.catalog)}", file=out)
+        print(plan.query, file=out)
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name, file=out)
+        return 0
+    if args.command == "optimize":
+        return _run_optimize(args, out)
+    return _run_experiment(args.command, args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through main() in tests
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Path-conjunctive query core: internal form and reasoning primitives.
+
+* :mod:`repro.cq.query` -- the internal path-conjunctive query representation
+  used by the chase and backchase.
+* :mod:`repro.cq.congruence` -- congruence closure over path terms, the fast
+  equality-reasoning engine behind homomorphism checks and subquery
+  restriction.
+* :mod:`repro.cq.homomorphism` -- homomorphism search with the incremental
+  equality pruning described in Section 3.1 of the paper.
+* :mod:`repro.cq.containment` -- containment mappings, equivalence and
+  minimality checks.
+"""
+
+from repro.cq.congruence import CongruenceClosure
+from repro.cq.containment import (
+    find_containment_mapping,
+    is_contained_in,
+    is_equivalent,
+    is_minimal,
+)
+from repro.cq.homomorphism import count_homomorphisms, find_homomorphism, find_homomorphisms
+from repro.cq.query import PCQuery
+
+__all__ = [
+    "CongruenceClosure",
+    "PCQuery",
+    "count_homomorphisms",
+    "find_containment_mapping",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "is_contained_in",
+    "is_equivalent",
+    "is_minimal",
+]

@@ -1,0 +1,56 @@
+"""Canonical database view of a query (the DB(Q) of the prototype architecture).
+
+Section 4 of the paper describes compiling queries and constraints into a
+*canonical database*: a congruence-closure based representation over which
+chasing reduces to a form of query evaluation.  In this reproduction the
+:class:`~repro.cq.query.PCQuery` plus its (saturated) congruence closure play
+that role; this module exposes the combination as an explicit object mainly
+for inspection, debugging and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Var
+
+
+@dataclass
+class CanonicalDatabase:
+    """A query together with the congruence closure of its where clause."""
+
+    query: object
+    closure: object
+
+    @classmethod
+    def of(cls, query, saturated=True):
+        """Build the canonical database of ``query``."""
+        closure = query.saturated_congruence() if saturated else query.congruence()
+        return cls(query, closure)
+
+    def equal(self, left, right):
+        """Decide whether an equality follows from the query's where clause."""
+        return self.closure.equal(left, right)
+
+    def node_count(self):
+        """Number of distinct nodes (equivalence classes)."""
+        return len(self.closure.classes())
+
+    def classes(self):
+        """Return the partition of interned paths into equivalence classes."""
+        return self.closure.classes()
+
+    def class_of(self, path):
+        """Return every known path equal to ``path``."""
+        return self.closure.equivalent_terms(path)
+
+    def variables_equal_to(self, path):
+        """Return the query variables provably equal to ``path``."""
+        return [
+            term.name
+            for term in self.closure.equivalent_terms(path)
+            if isinstance(term, Var) and term.name in self.query.variable_set
+        ]
+
+
+__all__ = ["CanonicalDatabase"]

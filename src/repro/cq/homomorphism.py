@@ -1,0 +1,200 @@
+"""Homomorphism search with incremental equality pruning.
+
+A homomorphism from a source (a query, or the universal part of a
+dependency) into a target query is a mapping from source variables to target
+variables such that
+
+1. the image of every source range equals the range of the target variable
+   it is mapped to (equality modulo the target's where clause), and
+2. the image of every source equality follows from the target's where clause.
+
+Finding one is NP-complete in the number of source variables, which stays
+small in practice (constraints have at most a handful of universally
+quantified variables).  Following Section 3.1 of the paper, the search is a
+backtracking enumeration that prunes a partial variable mapping as soon as a
+fully-instantiated source condition fails in the target's congruence closure,
+rather than building complete mappings and checking them in one step.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Var, path_variables, substitute
+
+
+def find_homomorphisms(
+    source_bindings,
+    source_conditions,
+    target,
+    target_closure=None,
+    initial=None,
+    injective=False,
+    prune_early=True,
+):
+    """Yield every homomorphism from the source into ``target``.
+
+    Parameters
+    ----------
+    source_bindings:
+        Iterable of :class:`~repro.lang.ast.Binding` -- the source prefix, in
+        an order where ranges only reference earlier variables.
+    source_conditions:
+        Iterable of :class:`~repro.lang.ast.Eq` -- the source conditions.
+    target:
+        The target :class:`~repro.cq.query.PCQuery`.
+    target_closure:
+        Optional pre-built congruence closure of the target (defaults to the
+        target's shared closure).
+    initial:
+        Optional partial mapping ``{source var name: Path}`` to extend.
+    injective:
+        When ``True``, two distinct source variables may not map to the same
+        target variable (used by the OCS interaction test).
+    prune_early:
+        When ``True`` (the default), source conditions are checked as soon as
+        all their variables are mapped; disabling this reproduces the naive
+        generate-and-test search for the ablation benchmark.
+
+    Yields
+    ------
+    dict
+        Mappings from source variable names to :class:`~repro.lang.ast.Var`
+        paths over the target.
+    """
+    bindings = list(source_bindings)
+    conditions = list(source_conditions)
+    closure = target_closure if target_closure is not None else target.congruence()
+    mapping = dict(initial) if initial else {}
+
+    # Conditions indexed by the position of the last source binding they need,
+    # so each is checked exactly once, as early as possible.
+    condition_schedule = _schedule_conditions(bindings, conditions, mapping)
+
+    target_bindings = list(target.bindings)
+
+    def extend(position):
+        if position == len(bindings):
+            yield dict(mapping)
+            return
+        source_binding = bindings[position]
+        if source_binding.var in mapping:
+            # Pre-assigned by the initial mapping: only verify the range.
+            image_range = substitute(source_binding.range, mapping)
+            assigned = mapping[source_binding.var]
+            if _range_matches(assigned, image_range, target_bindings, closure):
+                if _conditions_hold(condition_schedule[position], mapping, closure, prune_early):
+                    yield from extend(position + 1)
+            return
+        image_range = substitute(source_binding.range, mapping)
+        for target_binding in target_bindings:
+            if injective and any(
+                value == Var(target_binding.var) for value in mapping.values()
+            ):
+                continue
+            if not closure.equal(image_range, target_binding.range):
+                continue
+            mapping[source_binding.var] = Var(target_binding.var)
+            if _conditions_hold(condition_schedule[position], mapping, closure, prune_early):
+                yield from extend(position + 1)
+            del mapping[source_binding.var]
+
+    # When pruning is disabled all conditions are checked at the end.
+    if not prune_early:
+        final_conditions = conditions
+
+        def check_all(candidate):
+            for condition in final_conditions:
+                image = condition.substitute(candidate)
+                if not closure.equal(image.left, image.right):
+                    return False
+            return True
+
+        for candidate in extend(0):
+            if check_all(candidate):
+                yield candidate
+        return
+
+    yield from extend(0)
+
+
+def find_homomorphism(source_bindings, source_conditions, target, **kwargs):
+    """Return the first homomorphism found, or ``None``."""
+    for mapping in find_homomorphisms(source_bindings, source_conditions, target, **kwargs):
+        return mapping
+    return None
+
+
+def count_homomorphisms(source_bindings, source_conditions, target, **kwargs):
+    """Return the number of homomorphisms (useful in tests and benchmarks)."""
+    return sum(1 for _ in find_homomorphisms(source_bindings, source_conditions, target, **kwargs))
+
+
+def query_homomorphisms(source, target, **kwargs):
+    """Yield homomorphisms from query ``source`` into query ``target``.
+
+    Output clauses are ignored, exactly as in the paper's definition; use
+    :mod:`repro.cq.containment` for output-preserving (containment) mappings.
+    """
+    yield from find_homomorphisms(source.bindings, source.conditions, target, **kwargs)
+
+
+def _schedule_conditions(bindings, conditions, initial_mapping):
+    """Assign each condition to the earliest binding position where it is checkable."""
+    positions = {binding.var: index for index, binding in enumerate(bindings)}
+    schedule = [[] for _ in range(len(bindings) + 1)]
+    pre_assigned = set(initial_mapping or ())
+    for condition in conditions:
+        variables = path_variables(condition.left) | path_variables(condition.right)
+        needed = [positions[var] for var in variables if var in positions and var not in pre_assigned]
+        slot = (max(needed) + 1) if needed else 0
+        schedule[min(slot, len(bindings))].append(condition)
+    # Conditions whose variables are all pre-assigned (or constant) are checked
+    # before the search starts, via slot 0 of the first extension call; to keep
+    # the generator simple they are attached to position 0's check as well.
+    return _CumulativeSchedule(schedule)
+
+
+class _CumulativeSchedule:
+    """Lookup of the conditions to (re)check right after assigning position ``i``.
+
+    Position ``i`` in the schedule list holds the conditions that become fully
+    instantiated once binding ``i - 1`` is assigned; the conditions at slot 0
+    are checkable immediately and are validated when the first binding is
+    processed.
+    """
+
+    def __init__(self, slots):
+        self._slots = slots
+
+    def __getitem__(self, position):
+        checks = list(self._slots[position + 1]) if position + 1 < len(self._slots) else []
+        if position == 0:
+            checks = list(self._slots[0]) + checks
+        return checks
+
+
+def _conditions_hold(conditions, mapping, closure, prune_early):
+    if not prune_early:
+        return True
+    for condition in conditions:
+        image = condition.substitute(mapping)
+        if not closure.equal(image.left, image.right):
+            return False
+    return True
+
+
+def _range_matches(assigned, image_range, target_bindings, closure):
+    """Check that a pre-assigned variable maps onto a binding with the right range."""
+    if not isinstance(assigned, Var):
+        return False
+    for target_binding in target_bindings:
+        if target_binding.var == assigned.name:
+            return closure.equal(image_range, target_binding.range)
+    return False
+
+
+__all__ = [
+    "count_homomorphisms",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "query_homomorphisms",
+]

@@ -1,0 +1,16 @@
+"""Execution substrate: in-memory storage, plan execution and a cost model.
+
+The paper executes the generated plans on IBM DB2 (Section 5.4).  This
+sub-package provides the stand-in: an in-memory database with hash-join based
+evaluation of path-conjunctive queries, plus a simple cardinality cost model
+used to pick the best plan.  Absolute times differ from DB2, but the relative
+ordering of plans (the quantity Sections 5.4 and Figure 9/10 care about) is
+preserved because it is driven by the same data sizes and join selectivities.
+"""
+
+from repro.engine.cost import CostModel
+from repro.engine.database import Database
+from repro.engine.executor import execute, execute_timed
+from repro.engine.storage import Dictionary, Table
+
+__all__ = ["CostModel", "Database", "Dictionary", "Table", "execute", "execute_timed"]

@@ -1,0 +1,112 @@
+"""A simple cardinality-based cost model for ranking generated plans.
+
+The C&B prototype in the paper defers plan ranking to a cost model (and, for
+the end-to-end experiment, to DB2 itself).  This module provides a
+System-R-flavoured estimate: the plan is "executed" symbolically in the same
+greedy order the executor would use, accumulating the estimated sizes of the
+intermediate results.  Equality predicates on an attribute contribute a
+selectivity of ``1 / distinct values``; dictionary lookups contribute their
+average fan-out.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Attr, Dom, Lookup, SchemaRef, Var, path_variables
+
+
+class CostModel:
+    """Estimate plan costs from catalog statistics.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`~repro.schema.catalog.Catalog` whose ``statistics`` are
+        consulted.  Populating a :class:`~repro.engine.database.Database` and
+        calling :meth:`~repro.engine.database.Database.refresh_statistics`
+        keeps these in sync with actual data.
+    lookup_fanout:
+        Estimated number of elements returned by a set-valued navigation.
+    """
+
+    def __init__(self, catalog, lookup_fanout=3.0):
+        self.catalog = catalog
+        self.lookup_fanout = lookup_fanout
+
+    # ------------------------------------------------------------------ #
+    def cost(self, query):
+        """Return the estimated cost (sum of intermediate result sizes)."""
+        statistics = self.catalog.statistics
+        pending = list(query.bindings)
+        conditions = list(query.conditions)
+        bound = set()
+        cardinality = 1.0
+        total = 0.0
+        while pending:
+            index = self._choose(pending, bound)
+            binding = pending.pop(index)
+            cardinality *= self._binding_cardinality(binding, conditions, bound, statistics)
+            cardinality = max(cardinality, 1.0)
+            bound.add(binding.var)
+            total += cardinality
+        return total
+
+    def __call__(self, query):
+        return self.cost(query)
+
+    # ------------------------------------------------------------------ #
+    def _choose(self, pending, bound):
+        """Mirror the executor's greedy choice of the next binding."""
+        evaluable = [
+            position
+            for position, binding in enumerate(pending)
+            if path_variables(binding.range) <= bound
+        ]
+        if not evaluable:
+            return 0
+        for position in evaluable:
+            if not isinstance(pending[position].range, (SchemaRef, Dom)):
+                return position
+        return evaluable[0]
+
+    def _binding_cardinality(self, binding, conditions, bound, statistics):
+        range_path = binding.range
+        if isinstance(range_path, SchemaRef):
+            base = statistics.cardinality(range_path.name)
+            selectivity = self._best_selectivity(binding, conditions, bound, statistics, range_path.name)
+            return base * selectivity
+        if isinstance(range_path, Dom):
+            name = _root_name(range_path)
+            return statistics.cardinality(name) if name else statistics.default_cardinality
+        # Navigation through a bound variable or a dictionary lookup.
+        if isinstance(range_path, Lookup):
+            return 1.0
+        return self.lookup_fanout
+
+    def _best_selectivity(self, binding, conditions, bound, statistics, collection):
+        best = 1.0
+        for condition in conditions:
+            for this_side, other_side in (
+                (condition.left, condition.right),
+                (condition.right, condition.left),
+            ):
+                if (
+                    isinstance(this_side, Attr)
+                    and isinstance(this_side.base, Var)
+                    and this_side.base.name == binding.var
+                    and path_variables(other_side) <= bound
+                ):
+                    best = min(best, statistics.selectivity(collection, this_side.name))
+        return best
+
+
+def _root_name(path):
+    while isinstance(path, (Dom, Attr)):
+        path = path.base
+    if isinstance(path, Lookup):
+        return _root_name(path.dictionary)
+    if isinstance(path, SchemaRef):
+        return path.name
+    return None
+
+
+__all__ = ["CostModel"]

@@ -1,0 +1,125 @@
+"""A database instance: populated logical collections plus materialised structures.
+
+A :class:`Database` holds the contents of the logical collections (tables for
+relations, dictionaries for class extents) and can materialise every physical
+structure declared in a catalog -- indexes by grouping rows on the key
+attributes, materialized views and ASRs by executing their defining query.
+It also refreshes the catalog's statistics so the cost model sees the actual
+cardinalities.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.engine.storage import Dictionary, Table
+from repro.schema.physical import (
+    AccessSupportRelation,
+    MaterializedView,
+    PrimaryIndex,
+    SecondaryIndex,
+)
+
+
+class Database:
+    """Named collections (tables and dictionaries) plus materialisation helpers."""
+
+    def __init__(self, catalog=None):
+        self.catalog = catalog
+        self.collections = {}
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+    def add_table(self, name, rows=()):
+        """Create (or replace) a table with the given rows."""
+        table = Table(name, rows)
+        self.collections[name] = table
+        return table
+
+    def add_dictionary(self, name, entries=None):
+        """Create (or replace) a dictionary with the given entries."""
+        dictionary = Dictionary(name, entries)
+        self.collections[name] = dictionary
+        return dictionary
+
+    def collection(self, name):
+        """Return the collection named ``name``.
+
+        Raises
+        ------
+        ExecutionError
+            If the collection is not populated.
+        """
+        try:
+            return self.collections[name]
+        except KeyError:
+            raise ExecutionError(f"collection {name!r} is not populated") from None
+
+    def __contains__(self, name):
+        return name in self.collections
+
+    def cardinality(self, name):
+        """Return the number of rows/entries in collection ``name``."""
+        return len(self.collection(name))
+
+    # ------------------------------------------------------------------ #
+    # materialisation of the physical schema
+    # ------------------------------------------------------------------ #
+    def materialize_physical(self, catalog=None):
+        """Materialise every physical structure of the catalog over this instance.
+
+        Indexes become dictionaries from key values to the matching rows;
+        materialized views and access support relations are computed by
+        executing their defining queries against the current contents.
+        """
+        catalog = catalog if catalog is not None else self.catalog
+        if catalog is None:
+            raise ExecutionError("no catalog to materialise from")
+        from repro.engine.executor import execute
+
+        for structure in catalog.physical.structures.values():
+            if isinstance(structure, (PrimaryIndex, SecondaryIndex)):
+                self._materialize_index(structure)
+            elif isinstance(structure, (MaterializedView, AccessSupportRelation)):
+                rows = execute(structure.definition, self)
+                self.add_table(structure.name, rows)
+            else:  # pragma: no cover - no other structure kinds exist
+                raise ExecutionError(f"cannot materialise {structure!r}")
+        self.refresh_statistics(catalog)
+        return self
+
+    def _materialize_index(self, index):
+        relation = self.collection(index.relation)
+        entries = {}
+        for row in relation:
+            if len(index.attributes) == 1:
+                key = row[index.attributes[0]]
+            else:
+                key = tuple(sorted((attr, row[attr]) for attr in index.attributes))
+            entries.setdefault(key, []).append(row)
+        self.add_dictionary(index.name, entries)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def refresh_statistics(self, catalog=None):
+        """Copy actual cardinalities and distinct counts into the catalog statistics."""
+        catalog = catalog if catalog is not None else self.catalog
+        if catalog is None:
+            return
+        statistics = catalog.statistics
+        for name, collection in self.collections.items():
+            statistics.set_cardinality(name, len(collection))
+            if isinstance(collection, Table) and collection.rows:
+                for attribute in collection.attributes():
+                    values = set()
+                    for row in collection.rows:
+                        value = row.get(attribute)
+                        if isinstance(value, (list, set, dict)):
+                            continue
+                        values.add(value)
+                    if values:
+                        statistics.set_distinct(name, attribute, len(values))
+
+
+__all__ = ["Database"]

@@ -1,0 +1,99 @@
+"""In-memory storage: tables (sets of rows) and dictionaries (finite maps).
+
+Rows are plain ``dict`` objects mapping attribute names to values.  A
+:class:`Table` stores a bag of rows; a :class:`Dictionary` stores a finite
+partial function from keys to entries, where an entry is either a row (class
+extents: oid -> object state) or a list of rows (indexes: key value -> the
+matching tuples).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class Table:
+    """A named bag of rows."""
+
+    def __init__(self, name, rows=None):
+        self.name = name
+        self.rows = list(rows) if rows is not None else []
+        self._hash_indexes = {}
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def add(self, row):
+        """Append one row and invalidate cached hash indexes."""
+        self.rows.append(dict(row))
+        self._hash_indexes.clear()
+
+    def extend(self, rows):
+        """Append many rows and invalidate cached hash indexes."""
+        self.rows.extend(dict(row) for row in rows)
+        self._hash_indexes.clear()
+
+    def hash_index(self, attribute):
+        """Return (building lazily) a hash index ``value -> [rows]`` on ``attribute``."""
+        index = self._hash_indexes.get(attribute)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                try:
+                    key = row[attribute]
+                except KeyError:
+                    raise ExecutionError(
+                        f"table {self.name!r} has a row without attribute {attribute!r}"
+                    ) from None
+                index.setdefault(_hashable(key), []).append(row)
+            self._hash_indexes[attribute] = index
+        return index
+
+    def lookup(self, attribute, value):
+        """Return the rows whose ``attribute`` equals ``value`` (hash-accelerated)."""
+        return self.hash_index(attribute).get(_hashable(value), [])
+
+    def attributes(self):
+        """Return the attribute names of the first row (empty table: ``()``)."""
+        return tuple(self.rows[0]) if self.rows else ()
+
+
+class Dictionary:
+    """A named finite partial function from keys to entries."""
+
+    def __init__(self, name, entries=None):
+        self.name = name
+        self.entries = dict(entries) if entries is not None else {}
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __contains__(self, key):
+        return _hashable(key) in self.entries
+
+    def keys(self):
+        return list(self.entries)
+
+    def get(self, key, default=None):
+        return self.entries.get(_hashable(key), default)
+
+    def put(self, key, value):
+        self.entries[_hashable(key)] = value
+
+    def items(self):
+        return self.entries.items()
+
+
+def _hashable(value):
+    """Convert a value into a hashable key (rows become attribute tuples)."""
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    return value
+
+
+__all__ = ["Dictionary", "Table"]

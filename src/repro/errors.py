@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro (Chase & Backchase) library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific classes are provided for the
+major subsystems: the surface language, schema definition, the chase engine,
+and the execution engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when the OQL-like surface syntax cannot be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    position:
+        Character offset in the input at which the error was detected, or
+        ``None`` when not applicable.
+    """
+
+    def __init__(self, message, position=None):
+        super().__init__(message)
+        self.message = message
+        self.position = position
+
+    def __str__(self):
+        if self.position is None:
+            return self.message
+        return f"{self.message} (at position {self.position})"
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent schema definitions.
+
+    Examples: a relation declared twice, an index over a missing attribute,
+    or a materialized view whose defining query references an unknown name.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed with respect to a schema.
+
+    Examples: a binding over an unknown collection, an output path rooted at
+    an unbound variable, or a condition using a variable that is never bound.
+    """
+
+
+class ConstraintError(ReproError):
+    """Raised when a dependency (constraint) is malformed.
+
+    Examples: an existential binding that references a variable bound neither
+    universally nor earlier in the existential prefix.
+    """
+
+
+class ChaseError(ReproError):
+    """Raised when the chase or backchase cannot proceed.
+
+    The most common cause is a non-terminating chase detected via the
+    ``max_rounds`` safety bound.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised by the execution engine when a plan cannot be evaluated.
+
+    Examples: a plan referencing a collection that is not populated in the
+    database instance, or a dictionary lookup on a key path that cannot be
+    resolved.
+    """

@@ -1,0 +1,37 @@
+"""Experiment harness reproducing every table and figure of Section 5.
+
+* :mod:`repro.experiments.harness` -- measurement helpers shared by the
+  figures (chase timing, per-strategy optimization runs, plan execution).
+* :mod:`repro.experiments.figures` -- one driver per table/figure of the
+  paper; each returns structured rows and can render itself as text.
+* :mod:`repro.experiments.reporting` -- plain-text table and series rendering.
+"""
+
+from repro.experiments.figures import (
+    figure5_ec1,
+    figure5_ec2,
+    figure5_ec3,
+    figure6_ec1,
+    figure6_ec3,
+    figure7_ec2,
+    figure8_granularity,
+    figure9_plan_detail,
+    figure10_time_reduction,
+    plans_table_ec2,
+)
+from repro.experiments.reporting import render_series, render_table
+
+__all__ = [
+    "figure10_time_reduction",
+    "figure5_ec1",
+    "figure5_ec2",
+    "figure5_ec3",
+    "figure6_ec1",
+    "figure6_ec3",
+    "figure7_ec2",
+    "figure8_granularity",
+    "figure9_plan_detail",
+    "plans_table_ec2",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,156 @@
+"""Measurement helpers shared by the experiment drivers.
+
+Every quantity the paper's evaluation reports is produced by one of the
+helpers below:
+
+* chase time as a function of query size and number of constraints
+  (Section 5.2),
+* optimization time per generated plan for a strategy (Section 5.3),
+* end-to-end processing time of the generated plans on a populated database
+  (Section 5.4), including the ``Redux`` / ``ReduxFirst`` indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chase.chase import chase
+from repro.engine.executor import execute_timed
+
+
+@dataclass
+class ChaseMeasurement:
+    """Outcome of one chase-feasibility measurement (Figure 5)."""
+
+    params: dict
+    query_size: int
+    constraint_count: int
+    chase_time: float
+    universal_plan_size: int
+
+
+def measure_chase(workload):
+    """Chase the workload's query with all constraints and record the cost."""
+    constraints = workload.catalog.constraints()
+    result = chase(workload.query, constraints)
+    return ChaseMeasurement(
+        params=dict(workload.params),
+        query_size=workload.query.size(),
+        constraint_count=len(constraints),
+        chase_time=result.elapsed,
+        universal_plan_size=result.query.size(),
+    )
+
+
+@dataclass
+class StrategyMeasurement:
+    """Outcome of one optimizer run under a given strategy (Figures 6-7)."""
+
+    params: dict
+    strategy: str
+    plan_count: int
+    optimization_time: float
+    time_per_plan: float
+    subqueries_explored: int
+    timed_out: bool
+    result: object = field(repr=False, default=None)
+
+
+def measure_strategy(workload, strategy, timeout=None):
+    """Optimize the workload's query under ``strategy`` and record the cost."""
+    optimizer = workload.optimizer(timeout=timeout)
+    result = optimizer.optimize(workload.query, strategy=strategy)
+    return StrategyMeasurement(
+        params=dict(workload.params),
+        strategy=strategy,
+        plan_count=result.plan_count,
+        optimization_time=result.total_time,
+        time_per_plan=result.time_per_plan(),
+        subqueries_explored=result.subqueries_explored,
+        timed_out=result.timed_out,
+        result=result,
+    )
+
+
+@dataclass
+class ExecutionMeasurement:
+    """Execution of every generated plan on a populated database (Figure 9)."""
+
+    params: dict
+    optimization_time: float
+    plan_rows: list
+    original_execution_time: float
+    best_execution_time: float
+
+    @property
+    def redux(self):
+        """Time reduction with the full optimization cost charged (Section 5.4)."""
+        ext = self.original_execution_time
+        if ext <= 0:
+            return 0.0
+        return (ext - (self.best_execution_time + self.optimization_time)) / ext
+
+    @property
+    def redux_first(self):
+        """Time reduction assuming the best plan is produced first."""
+        ext = self.original_execution_time
+        if ext <= 0:
+            return 0.0
+        per_plan = self.optimization_time / max(1, len(self.plan_rows))
+        return (ext - (self.best_execution_time + per_plan)) / ext
+
+
+def measure_execution(workload, strategy="oqf", size=1000, seed=0, timeout=None):
+    """Optimize, execute every plan, and compute the Section 5.4 indices.
+
+    The original query is always among the generated plans, so its execution
+    time (``ExT``) is the maximum of a plan that scans only logical
+    collections; ``ExTBest`` is the fastest plan overall.
+    """
+    optimizer = workload.optimizer(timeout=timeout)
+    result = optimizer.optimize(workload.query, strategy=strategy)
+    database = workload.database(size=size, seed=seed)
+    catalog = workload.catalog
+
+    reference_rows, original_time = execute_timed(workload.query, database)
+    plan_rows = []
+    for plan in result.plans:
+        rows, elapsed = execute_timed(plan.query, database)
+        plan_rows.append(
+            {
+                "plan": plan,
+                "execution_time": elapsed,
+                "row_count": len(rows),
+                "views_used": plan.physical_structures_used(catalog),
+                "relations_used": plan.logical_collections_used(catalog),
+                "matches_original": _same_bag(rows, reference_rows),
+            }
+        )
+    plan_rows.sort(key=lambda entry: entry["execution_time"])
+    best_time = plan_rows[0]["execution_time"] if plan_rows else original_time
+    return ExecutionMeasurement(
+        params=dict(workload.params),
+        optimization_time=result.total_time,
+        plan_rows=plan_rows,
+        original_execution_time=original_time,
+        best_execution_time=best_time,
+    )
+
+
+def _same_bag(left, right):
+    """Compare two bags of output rows irrespective of order."""
+
+    def canonical(rows):
+        return sorted(tuple(sorted(row.items())) for row in rows)
+
+    return canonical(left) == canonical(right)
+
+
+__all__ = [
+    "ChaseMeasurement",
+    "ExecutionMeasurement",
+    "StrategyMeasurement",
+    "measure_chase",
+    "measure_execution",
+    "measure_strategy",
+]

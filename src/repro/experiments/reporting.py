@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The experiment drivers return structured data; these helpers turn them into
+the fixed-width tables the benchmarks print, mirroring the rows/series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers, rows, title=None):
+    """Render ``rows`` (iterables of cells) under ``headers`` as aligned text."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(series, x_label="x", y_label="y", title=None):
+    """Render named series of ``(x, y)`` points as a compact table.
+
+    ``series`` maps a series name to its list of points.
+    """
+    headers = [x_label] + list(series)
+    xs = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    rows = []
+    for x in xs:
+        row = [x]
+        for points in series.values():
+            lookup = {px: py for px, py in points}
+            row.append(lookup.get(x, ""))
+        rows.append(row)
+    text = render_table(headers, rows, title=title)
+    if y_label:
+        text += f"\n(values: {y_label})"
+    return text
+
+
+__all__ = ["render_series", "render_table"]

@@ -1,0 +1,71 @@
+"""Surface language for path-conjunctive queries and constraints.
+
+The sub-package contains:
+
+* :mod:`repro.lang.ast` -- path expressions, equality conditions, bindings and
+  the select-from-where query form shared by the whole library.
+* :mod:`repro.lang.types` -- a small type system (base, struct, set and
+  dictionary types) used to describe logical and physical schemas.
+* :mod:`repro.lang.parser` -- an OQL-like concrete syntax for queries and
+  embedded dependencies.
+* :mod:`repro.lang.pretty` -- pretty printers that render the internal forms
+  back into the concrete syntax.
+"""
+
+from repro.lang.ast import (
+    Attr,
+    Binding,
+    Const,
+    Dom,
+    Eq,
+    Lookup,
+    Path,
+    SchemaRef,
+    SelectFromWhere,
+    Var,
+    path_root,
+    path_variables,
+    substitute,
+)
+from repro.lang.parser import parse_dependency, parse_path, parse_query
+from repro.lang.pretty import format_dependency, format_path, format_query
+from repro.lang.types import (
+    BoolType,
+    DictType,
+    FloatType,
+    IntType,
+    SetType,
+    StringType,
+    StructType,
+    Type,
+)
+
+__all__ = [
+    "Attr",
+    "Binding",
+    "BoolType",
+    "Const",
+    "DictType",
+    "Dom",
+    "Eq",
+    "FloatType",
+    "IntType",
+    "Lookup",
+    "Path",
+    "SchemaRef",
+    "SelectFromWhere",
+    "SetType",
+    "StringType",
+    "StructType",
+    "Type",
+    "Var",
+    "format_dependency",
+    "format_path",
+    "format_query",
+    "parse_dependency",
+    "parse_path",
+    "parse_query",
+    "path_root",
+    "path_variables",
+    "substitute",
+]

@@ -1,0 +1,95 @@
+"""Pretty printers that render internal forms back into the OQL-like syntax.
+
+The printers are designed so that ``parse_query(format_query(q))`` round-trips
+(modulo whitespace), which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Binding, Eq, SelectFromWhere
+
+
+def format_path(path):
+    """Render a path expression."""
+    return str(path)
+
+
+def format_conditions(conditions):
+    """Render a conjunction of equalities."""
+    return " and ".join(str(condition) for condition in conditions)
+
+
+def format_bindings(bindings):
+    """Render a from-clause binding list in the OQL ``Range var`` style."""
+    return ", ".join(f"{binding.range} {binding.var}" for binding in bindings)
+
+
+def format_query(query, indent=""):
+    """Render a :class:`SelectFromWhere` (or any object with the same shape).
+
+    Parameters
+    ----------
+    query:
+        An object with ``output``, ``bindings`` and ``conditions`` attributes.
+    indent:
+        Prefix prepended to every line, for nested display.
+    """
+    fields = ", ".join(f"{label}: {path}" for label, path in query.output)
+    lines = [f"{indent}select struct({fields})"]
+    lines.append(f"{indent}from {format_bindings(query.bindings)}")
+    if query.conditions:
+        lines.append(f"{indent}where {format_conditions(query.conditions)}")
+    return "\n".join(lines)
+
+
+def format_dependency(dependency, indent=""):
+    """Render a dependency in the ``forall ... implies ...`` concrete syntax.
+
+    Accepts either a :class:`repro.schema.constraints.Dependency` or a raw
+    ``(universal, premise, existential, conclusion)`` tuple.
+    """
+    if isinstance(dependency, tuple):
+        universal, premise, existential, conclusion = dependency
+    else:
+        universal = dependency.universal
+        premise = dependency.premise
+        existential = dependency.existential
+        conclusion = dependency.conclusion
+
+    parts = [f"{indent}forall {_format_prefix(universal)}"]
+    if premise:
+        parts.append(f"where {format_conditions(premise)}")
+    parts.append("implies")
+    if existential:
+        parts.append(f"exists {_format_prefix(existential)}")
+        if conclusion:
+            parts.append(f"where {format_conditions(conclusion)}")
+    else:
+        parts.append(format_conditions(conclusion))
+    return " ".join(parts)
+
+
+def _format_prefix(bindings):
+    return ", ".join(f"{binding.var} in {binding.range}" for binding in bindings)
+
+
+def format_plan_summary(query):
+    """One-line summary of a plan: the collections it scans, in order.
+
+    Used by the experiment reports (e.g. the Figure 9 table lists for each
+    plan the views and corner relations used).
+    """
+    names = []
+    for binding in query.bindings:
+        names.append(str(binding.range))
+    return " ⨝ ".join(names) if names else "(empty)"
+
+
+__all__ = [
+    "format_bindings",
+    "format_conditions",
+    "format_dependency",
+    "format_path",
+    "format_plan_summary",
+    "format_query",
+]

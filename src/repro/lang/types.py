@@ -1,0 +1,101 @@
+"""A small type system for schemas in the path-conjunctive data model.
+
+The data model of the paper is the ODMG model restricted to the constructs
+needed by path-conjunctive queries: base types, record (struct) types, finite
+sets, and dictionaries (finite partial functions).  Relations are sets of
+structs; OO classes are dictionaries from object identifiers to structs;
+indexes are dictionaries from key values to sets of tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Type:
+    """Base class of all types in the data model."""
+
+    def is_collection(self):
+        """Return ``True`` when values of this type can be iterated over."""
+        return isinstance(self, (SetType, DictType))
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    """A named scalar type (``int``, ``string``, ...)."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+#: Singleton scalar types used throughout schema definitions.
+IntType = BaseType("int")
+FloatType = BaseType("float")
+StringType = BaseType("string")
+BoolType = BaseType("bool")
+OidType = BaseType("oid")
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A record type: an ordered mapping of attribute names to types."""
+
+    fields: tuple = field(default_factory=tuple)
+
+    @classmethod
+    def of(cls, **fields):
+        """Build a struct type from keyword arguments, preserving order."""
+        return cls(tuple(fields.items()))
+
+    @property
+    def attribute_names(self):
+        """Return the attribute names in declaration order."""
+        return tuple(name for name, _ in self.fields)
+
+    def attribute_type(self, name):
+        """Return the type of attribute ``name``.
+
+        Raises
+        ------
+        KeyError
+            If the struct has no such attribute.
+        """
+        for attr, attr_type in self.fields:
+            if attr == name:
+                return attr_type
+        raise KeyError(name)
+
+    def has_attribute(self, name):
+        """Return ``True`` when the struct declares attribute ``name``."""
+        return any(attr == name for attr, _ in self.fields)
+
+    def __str__(self):
+        inner = ", ".join(f"{name}: {ftype}" for name, ftype in self.fields)
+        return f"struct{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class SetType(Type):
+    """A finite set of elements of a common type."""
+
+    element: Type
+
+    def __str__(self):
+        return f"set<{self.element}>"
+
+
+@dataclass(frozen=True)
+class DictType(Type):
+    """A dictionary (finite partial function) from keys to entries.
+
+    Dictionaries model both OO class extents (oid -> object state) and
+    physical access structures such as indexes (key value -> set of tuples).
+    """
+
+    key: Type
+    entry: Type
+
+    def __str__(self):
+        return f"dict<{self.key}, {self.entry}>"

@@ -1,0 +1,41 @@
+"""Schemas, physical structures and constraints.
+
+* :mod:`repro.schema.constraints` -- embedded path-conjunctive dependencies
+  (TGDs and EGDs), the single uniform representation the C&B method uses for
+  semantic constraints and physical structures alike.
+* :mod:`repro.schema.logical` -- logical schema: relations and OO classes
+  (dictionaries) with semantic constraints (keys, foreign keys, inverses).
+* :mod:`repro.schema.physical` -- physical schema: primary and secondary
+  indexes, materialized views, access support relations.
+* :mod:`repro.schema.compile` -- compilation of every structure into its pair
+  of inclusion constraints (skeletons) and of semantic declarations into
+  dependencies.
+* :mod:`repro.schema.catalog` -- the catalog handed to the optimizer: logical
+  plus physical schema, all constraints, and statistics.
+"""
+
+from repro.schema.catalog import Catalog, Statistics
+from repro.schema.constraints import Dependency, Skeleton
+from repro.schema.logical import ClassDef, LogicalSchema, Relation
+from repro.schema.physical import (
+    AccessSupportRelation,
+    MaterializedView,
+    PhysicalSchema,
+    PrimaryIndex,
+    SecondaryIndex,
+)
+
+__all__ = [
+    "AccessSupportRelation",
+    "Catalog",
+    "ClassDef",
+    "Dependency",
+    "LogicalSchema",
+    "MaterializedView",
+    "PhysicalSchema",
+    "PrimaryIndex",
+    "Relation",
+    "SecondaryIndex",
+    "Skeleton",
+    "Statistics",
+]

@@ -1,0 +1,188 @@
+"""The catalog: everything the optimizer needs to know about a database.
+
+A :class:`Catalog` bundles the logical schema, the physical schema, the
+compiled constraint set and (optionally) statistics.  It is the single object
+handed to :class:`repro.chase.optimizer.CBOptimizer` and to the execution
+engine's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.compile import compile_logical_constraints, compile_structure
+from repro.schema.logical import LogicalSchema
+from repro.schema.physical import PhysicalSchema
+
+
+@dataclass
+class Statistics:
+    """Simple statistics used by the cost model.
+
+    Attributes
+    ----------
+    cardinalities:
+        Mapping from collection name to number of tuples / dictionary entries.
+    distinct_values:
+        Mapping from ``(collection, attribute)`` to the number of distinct
+        values, used to estimate equi-join selectivities.
+    default_cardinality:
+        Fallback cardinality for collections without an entry.
+    """
+
+    cardinalities: dict = field(default_factory=dict)
+    distinct_values: dict = field(default_factory=dict)
+    default_cardinality: int = 1000
+
+    def cardinality(self, name):
+        """Return the (estimated) cardinality of collection ``name``."""
+        return self.cardinalities.get(name, self.default_cardinality)
+
+    def set_cardinality(self, name, value):
+        self.cardinalities[name] = int(value)
+
+    def distinct(self, name, attribute):
+        """Return the number of distinct values of ``name.attribute``."""
+        return self.distinct_values.get((name, attribute), max(1, self.cardinality(name) // 10))
+
+    def set_distinct(self, name, attribute, value):
+        self.distinct_values[(name, attribute)] = int(value)
+
+    def selectivity(self, name, attribute):
+        """Return the estimated selectivity of an equality on ``name.attribute``."""
+        return 1.0 / max(1, self.distinct(name, attribute))
+
+
+class Catalog:
+    """Logical schema + physical schema + constraints + statistics.
+
+    The catalog exposes a small façade so most callers never touch the
+    underlying schema objects directly::
+
+        catalog = Catalog()
+        catalog.add_relation("R", ["K", "N", "A"], key=["K"])
+        catalog.add_key("R", ["K"])
+        catalog.add_primary_index("PI_R", "R", ["K"])
+        optimizer = CBOptimizer(catalog)
+    """
+
+    def __init__(self, logical=None, physical=None, statistics=None):
+        self.logical = logical if logical is not None else LogicalSchema()
+        self.physical = physical if physical is not None else PhysicalSchema()
+        self.statistics = statistics if statistics is not None else Statistics()
+        self._custom_constraints = []
+
+    # ------------------------------------------------------------------ #
+    # logical schema façade
+    # ------------------------------------------------------------------ #
+    def add_relation(self, name, attributes, key=()):
+        """Declare a relation in the logical schema."""
+        return self.logical.add_relation(name, attributes, key)
+
+    def add_class(self, name, attributes=(), set_attributes=()):
+        """Declare an OO class (dictionary collection) in the logical schema."""
+        return self.logical.add_class(name, attributes, set_attributes)
+
+    def add_key(self, relation_name, attributes):
+        """Declare a key constraint."""
+        return self.logical.add_key(relation_name, attributes)
+
+    def add_foreign_key(self, relation_name, attributes, target_name, target_attributes):
+        """Declare a referential integrity (foreign key) constraint."""
+        return self.logical.add_foreign_key(relation_name, attributes, target_name, target_attributes)
+
+    def add_inverse_relationship(self, class_name, forward_attribute, target_class, backward_attribute):
+        """Declare an inverse relationship between two classes."""
+        return self.logical.add_inverse_relationship(
+            class_name, forward_attribute, target_class, backward_attribute
+        )
+
+    # ------------------------------------------------------------------ #
+    # physical schema façade
+    # ------------------------------------------------------------------ #
+    def add_primary_index(self, name, relation, attributes):
+        """Declare a primary index."""
+        self._require_collection(relation)
+        return self.physical.add_primary_index(name, relation, attributes)
+
+    def add_secondary_index(self, name, relation, attributes):
+        """Declare a secondary index."""
+        self._require_collection(relation)
+        return self.physical.add_secondary_index(name, relation, attributes)
+
+    def add_materialized_view(self, name, definition):
+        """Declare a materialized view defined by a :class:`PCQuery`."""
+        return self.physical.add_materialized_view(name, definition)
+
+    def add_access_support_relation(self, name, definition):
+        """Declare an access support relation defined by a navigation query."""
+        return self.physical.add_access_support_relation(name, definition)
+
+    def add_dependency(self, dependency):
+        """Register a hand-written dependency (validated)."""
+        self._custom_constraints.append(dependency.validate())
+        return dependency
+
+    def _require_collection(self, name):
+        if name not in self.logical:
+            raise SchemaError(f"unknown collection {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # compiled constraint views
+    # ------------------------------------------------------------------ #
+    def skeletons(self):
+        """Return the skeleton (constraint-pair) of every physical structure."""
+        result = []
+        for structure in self.physical.structures.values():
+            skeleton, _ = compile_structure(structure)
+            result.append(skeleton)
+        return result
+
+    def physical_constraints(self):
+        """Return every constraint describing a physical structure."""
+        constraints = []
+        for structure in self.physical.structures.values():
+            skeleton, extras = compile_structure(structure)
+            constraints.extend(skeleton.constraints)
+            constraints.extend(extras)
+        return constraints
+
+    def semantic_constraints(self):
+        """Return every semantic integrity constraint (including custom ones)."""
+        return compile_logical_constraints(self.logical) + list(self._custom_constraints)
+
+    def constraints(self):
+        """Return the full constraint set used by chase and backchase."""
+        return tuple(self.semantic_constraints() + self.physical_constraints())
+
+    def constraint(self, name):
+        """Return the constraint with the given name.
+
+        Raises
+        ------
+        SchemaError
+            If no constraint has that name.
+        """
+        for dependency in self.constraints():
+            if dependency.name == name:
+                return dependency
+        raise SchemaError(f"unknown constraint {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # naming helpers
+    # ------------------------------------------------------------------ #
+    def is_physical_name(self, name):
+        """Return ``True`` when ``name`` denotes a physical structure."""
+        return name in self.physical
+
+    def is_logical_name(self, name):
+        """Return ``True`` when ``name`` denotes a logical collection."""
+        return name in self.logical
+
+    def collection_names(self):
+        """Return every collection name known to the catalog."""
+        return tuple(self.logical.collection_names()) + tuple(self.physical.names())
+
+
+__all__ = ["Catalog", "Statistics"]

@@ -1,0 +1,241 @@
+"""Compilation of schema declarations into embedded dependencies.
+
+This module is the bridge between the declarative schema objects
+(:mod:`repro.schema.logical`, :mod:`repro.schema.physical`) and the uniform
+constraint representation the C&B optimizer works with:
+
+* semantic declarations (keys, foreign keys, inverse relationships) become
+  single dependencies;
+* physical structures (indexes, materialized views, ASRs) become *skeletons*
+  -- pairs of complementary inclusion constraints, exactly as in Appendix A
+  of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Attr, Binding, Dom, Eq, Lookup, SchemaRef, Var
+from repro.schema.constraints import Dependency, Skeleton
+from repro.schema.physical import (
+    AccessSupportRelation,
+    MaterializedView,
+    PrimaryIndex,
+    SecondaryIndex,
+)
+
+
+# ---------------------------------------------------------------------- #
+# semantic constraints
+# ---------------------------------------------------------------------- #
+def key_dependency(relation_name, attributes, name=None):
+    """Key constraint: tuples that agree on ``attributes`` are equal (an EGD)."""
+    left, right = Var("r"), Var("r2")
+    premise = tuple(Eq(Attr(left, attr), Attr(right, attr)) for attr in attributes)
+    return Dependency.create(
+        name or f"KEY_{relation_name}",
+        universal=(
+            Binding("r", SchemaRef(relation_name)),
+            Binding("r2", SchemaRef(relation_name)),
+        ),
+        premise=premise,
+        conclusion=(Eq(left, right),),
+        kind="semantic",
+    ).validate()
+
+
+def foreign_key_dependency(relation_name, attributes, target_name, target_attributes, name=None):
+    """Referential integrity constraint (foreign key), a TGD.
+
+    Every tuple of the source relation has a matching tuple in the target
+    relation on the given attribute lists (Example 2.1 of the paper).
+    """
+    source, target = Var("r"), Var("s")
+    conclusion = tuple(
+        Eq(Attr(source, src_attr), Attr(target, dst_attr))
+        for src_attr, dst_attr in zip(attributes, target_attributes)
+    )
+    return Dependency.create(
+        name or f"FK_{relation_name}_{target_name}",
+        universal=(Binding("r", SchemaRef(relation_name)),),
+        existential=(Binding("s", SchemaRef(target_name)),),
+        conclusion=conclusion,
+        kind="semantic",
+    ).validate()
+
+
+def inverse_dependencies(class_name, forward_attribute, target_class, backward_attribute, name=None):
+    """The two constraints of a many-to-many inverse relationship (EC3).
+
+    ``INV_..._fwd`` says that following a ``forward_attribute`` reference from
+    ``class_name`` can be retraced through ``backward_attribute`` of
+    ``target_class``; ``INV_..._bwd`` says the converse.
+    """
+    base = name or f"INV_{class_name}_{target_class}"
+    source_dict = SchemaRef(class_name)
+    target_dict = SchemaRef(target_class)
+    forward = Dependency.create(
+        f"{base}_fwd",
+        universal=(
+            Binding("k", Dom(source_dict)),
+            Binding("o", Attr(Lookup(source_dict, Var("k")), forward_attribute)),
+        ),
+        existential=(
+            Binding("k2", Dom(target_dict)),
+            Binding("o2", Attr(Lookup(target_dict, Var("k2")), backward_attribute)),
+        ),
+        conclusion=(Eq(Var("k2"), Var("o")), Eq(Var("o2"), Var("k"))),
+        kind="semantic",
+    ).validate()
+    backward = Dependency.create(
+        f"{base}_bwd",
+        universal=(
+            Binding("k2", Dom(target_dict)),
+            Binding("o2", Attr(Lookup(target_dict, Var("k2")), backward_attribute)),
+        ),
+        existential=(
+            Binding("k", Dom(source_dict)),
+            Binding("o", Attr(Lookup(source_dict, Var("k")), forward_attribute)),
+        ),
+        conclusion=(Eq(Var("k2"), Var("o")), Eq(Var("o2"), Var("k"))),
+        kind="semantic",
+    ).validate()
+    return (forward, backward)
+
+
+# ---------------------------------------------------------------------- #
+# physical structures (skeletons)
+# ---------------------------------------------------------------------- #
+def index_skeleton(index):
+    """Compile a primary or secondary index into its skeleton.
+
+    The index is modelled as a dictionary from key values (the value of the
+    single indexed attribute, or a key struct for composite indexes) to the
+    set of matching tuples.
+    """
+    index_ref = SchemaRef(index.name)
+    relation_ref = SchemaRef(index.relation)
+    key_var, entry_var, row_var = Var("k"), Var("t"), Var("r")
+
+    if len(index.attributes) == 1:
+        key_paths = [(index.attributes[0], key_var)]
+    else:
+        key_paths = [(attr, Attr(key_var, attr)) for attr in index.attributes]
+
+    key_equalities_row = tuple(Eq(key_path, Attr(row_var, attr)) for attr, key_path in key_paths)
+    key_equalities_entry = tuple(Eq(key_path, Attr(entry_var, attr)) for attr, key_path in key_paths)
+
+    # The skeleton convention (Appendix B) is: the *forward* constraint is the
+    # one whose universal prefix ranges over logical collections and whose
+    # existential prefix introduces the physical structure.
+    forward = Dependency.create(
+        f"{index.name}_fwd",
+        universal=(Binding("r", relation_ref),),
+        existential=(
+            Binding("k", Dom(index_ref)),
+            Binding("t", Lookup(index_ref, key_var)),
+        ),
+        conclusion=(Eq(entry_var, row_var),) + key_equalities_row,
+        kind="physical",
+    ).validate()
+    backward = Dependency.create(
+        f"{index.name}_bwd",
+        universal=(
+            Binding("k", Dom(index_ref)),
+            Binding("t", Lookup(index_ref, key_var)),
+        ),
+        existential=(Binding("r", relation_ref),),
+        conclusion=(Eq(row_var, entry_var),) + key_equalities_entry,
+        kind="physical",
+    ).validate()
+    return Skeleton(index.name, forward, backward, index)
+
+
+def index_nonemptiness(index):
+    """The extra non-emptiness constraint of a secondary index.
+
+    Every key present in the index domain has at least one entry; the paper
+    counts three constraints for secondary indexes for this reason.
+    """
+    index_ref = SchemaRef(index.name)
+    return Dependency.create(
+        f"{index.name}_nonempty",
+        universal=(Binding("k", Dom(index_ref)),),
+        existential=(Binding("t", Lookup(index_ref, Var("k"))),),
+        conclusion=(),
+        kind="physical",
+    ).validate()
+
+
+def view_skeleton(view, variable="v"):
+    """Compile a materialized view (or ASR) into its skeleton.
+
+    The forward constraint states that every match of the view definition has
+    a corresponding view tuple; the backward constraint states that every
+    view tuple comes from a match of the definition.
+    """
+    definition = view.definition
+    view_ref = SchemaRef(view.name)
+    view_var = Var(variable)
+    taken = set(definition.variables)
+    if variable in taken:
+        suffix = 1
+        while f"{variable}{suffix}" in taken:
+            suffix += 1
+        view_var = Var(f"{variable}{suffix}")
+    output_equalities = tuple(
+        Eq(Attr(view_var, label), path) for label, path in definition.output
+    )
+    forward = Dependency.create(
+        f"{view.name}_fwd",
+        universal=definition.bindings,
+        premise=definition.conditions,
+        existential=(Binding(view_var.name, view_ref),),
+        conclusion=output_equalities,
+        kind="physical",
+    ).validate()
+    backward = Dependency.create(
+        f"{view.name}_bwd",
+        universal=(Binding(view_var.name, view_ref),),
+        existential=definition.bindings,
+        conclusion=definition.conditions + output_equalities,
+        kind="physical",
+    ).validate()
+    return Skeleton(view.name, forward, backward, view)
+
+
+def compile_structure(structure):
+    """Compile any physical structure into ``(skeleton, extra_constraints)``."""
+    if isinstance(structure, (PrimaryIndex, SecondaryIndex)):
+        skeleton = index_skeleton(structure)
+        extras = (index_nonemptiness(structure),) if isinstance(structure, SecondaryIndex) else ()
+        return skeleton, extras
+    if isinstance(structure, (MaterializedView, AccessSupportRelation)):
+        return view_skeleton(structure), ()
+    raise TypeError(f"cannot compile physical structure {structure!r}")
+
+
+def compile_logical_constraints(logical):
+    """Compile every semantic declaration of a logical schema into dependencies."""
+    constraints = []
+    for relation_name, attributes in logical.keys:
+        constraints.append(key_dependency(relation_name, attributes))
+    for relation_name, attributes, target_name, target_attributes in logical.foreign_keys:
+        constraints.append(
+            foreign_key_dependency(relation_name, attributes, target_name, target_attributes)
+        )
+    for class_name, forward_attr, target_class, backward_attr in logical.inverses:
+        constraints.extend(
+            inverse_dependencies(class_name, forward_attr, target_class, backward_attr)
+        )
+    return constraints
+
+
+__all__ = [
+    "compile_logical_constraints",
+    "compile_structure",
+    "foreign_key_dependency",
+    "index_nonemptiness",
+    "index_skeleton",
+    "inverse_dependencies",
+    "key_dependency",
+    "view_skeleton",
+]

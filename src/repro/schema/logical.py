@@ -1,0 +1,221 @@
+"""Logical schema: relations, OO classes, and semantic integrity constraints.
+
+A :class:`LogicalSchema` collects named collections and the semantic
+constraints over them.  Two kinds of collections are supported, mirroring the
+paper's data model:
+
+* :class:`Relation` -- a set of structs (the relational case);
+* :class:`ClassDef` -- an OO class, modelled as a dictionary from object
+  identifiers to structs whose attributes may themselves be set-valued
+  (e.g. the ``N``/``P`` reference sets of the inverse-relationship example).
+
+Semantic constraints (keys, foreign keys, inverse relationships) are declared
+through ``add_*`` methods and compiled into :class:`Dependency` objects by
+:mod:`repro.schema.compile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.lang.types import IntType, SetType, StructType
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation: a named set of structs.
+
+    Attributes
+    ----------
+    name:
+        The relation name.
+    attributes:
+        Tuple of attribute names.
+    key:
+        Optional tuple of attribute names forming the primary key.  The key
+        declaration itself does not imply a key *constraint*; call
+        :meth:`LogicalSchema.add_key` to add the EGD the optimizer can use.
+    """
+
+    name: str
+    attributes: tuple
+    key: tuple = ()
+
+    def __post_init__(self):
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name!r} has duplicate attributes")
+        missing = set(self.key) - set(self.attributes)
+        if missing:
+            raise SchemaError(f"relation {self.name!r} key uses unknown attributes {sorted(missing)}")
+
+    def struct_type(self, attribute_types=None):
+        """Return the struct type of the tuples (``int`` by default)."""
+        types = attribute_types or {}
+        return StructType(tuple((attr, types.get(attr, IntType)) for attr in self.attributes))
+
+    def has_attribute(self, name):
+        return name in self.attributes
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """An OO class: a dictionary from oids to structs.
+
+    Attributes
+    ----------
+    name:
+        The class (dictionary) name.
+    attributes:
+        Tuple of scalar attribute names.
+    set_attributes:
+        Tuple of set-valued attribute names (e.g. ``("N", "P")`` for the
+        next/previous reference sets of EC3).
+    """
+
+    name: str
+    attributes: tuple = ()
+    set_attributes: tuple = ()
+
+    def __post_init__(self):
+        overlap = set(self.attributes) & set(self.set_attributes)
+        if overlap:
+            raise SchemaError(
+                f"class {self.name!r} declares {sorted(overlap)} as both scalar and set-valued"
+            )
+
+    def struct_type(self, attribute_types=None):
+        """Return the struct type of the object state."""
+        types = attribute_types or {}
+        fields = [(attr, types.get(attr, IntType)) for attr in self.attributes]
+        fields += [(attr, SetType(IntType)) for attr in self.set_attributes]
+        return StructType(tuple(fields))
+
+    def has_attribute(self, name):
+        return name in self.attributes or name in self.set_attributes
+
+
+@dataclass
+class LogicalSchema:
+    """A named collection of relations, classes and semantic constraint declarations."""
+
+    relations: dict = field(default_factory=dict)
+    classes: dict = field(default_factory=dict)
+    keys: list = field(default_factory=list)
+    foreign_keys: list = field(default_factory=list)
+    inverses: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # collection declarations
+    # ------------------------------------------------------------------ #
+    def add_relation(self, name, attributes, key=()):
+        """Declare a relation and return it."""
+        if name in self.relations or name in self.classes:
+            raise SchemaError(f"collection {name!r} declared twice")
+        relation = Relation(name, tuple(attributes), tuple(key))
+        self.relations[name] = relation
+        return relation
+
+    def add_class(self, name, attributes=(), set_attributes=()):
+        """Declare an OO class (a dictionary collection) and return it."""
+        if name in self.relations or name in self.classes:
+            raise SchemaError(f"collection {name!r} declared twice")
+        class_def = ClassDef(name, tuple(attributes), tuple(set_attributes))
+        self.classes[name] = class_def
+        return class_def
+
+    def collection(self, name):
+        """Return the relation or class named ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If no such collection exists.
+        """
+        if name in self.relations:
+            return self.relations[name]
+        if name in self.classes:
+            return self.classes[name]
+        raise SchemaError(f"unknown collection {name!r}")
+
+    def collection_names(self):
+        return tuple(self.relations) + tuple(self.classes)
+
+    def __contains__(self, name):
+        return name in self.relations or name in self.classes
+
+    # ------------------------------------------------------------------ #
+    # semantic constraint declarations
+    # ------------------------------------------------------------------ #
+    def add_key(self, relation_name, attributes):
+        """Declare a key constraint: tuples agreeing on ``attributes`` are equal."""
+        relation = self._relation(relation_name)
+        attributes = tuple(attributes)
+        missing = set(attributes) - set(relation.attributes)
+        if missing:
+            raise SchemaError(f"key on {relation_name!r} uses unknown attributes {sorted(missing)}")
+        self.keys.append((relation_name, attributes))
+        return (relation_name, attributes)
+
+    def add_foreign_key(self, relation_name, attributes, target_name, target_attributes):
+        """Declare a referential integrity constraint (foreign key).
+
+        Every tuple of ``relation_name`` has, for its ``attributes`` values, a
+        matching tuple in ``target_name`` on ``target_attributes``.
+        """
+        source = self._relation(relation_name)
+        target = self._relation(target_name)
+        attributes = tuple(attributes)
+        target_attributes = tuple(target_attributes)
+        if len(attributes) != len(target_attributes):
+            raise SchemaError("foreign key attribute lists have different lengths")
+        missing = set(attributes) - set(source.attributes)
+        if missing:
+            raise SchemaError(
+                f"foreign key on {relation_name!r} uses unknown attributes {sorted(missing)}"
+            )
+        missing = set(target_attributes) - set(target.attributes)
+        if missing:
+            raise SchemaError(
+                f"foreign key into {target_name!r} uses unknown attributes {sorted(missing)}"
+            )
+        declaration = (relation_name, attributes, target_name, target_attributes)
+        self.foreign_keys.append(declaration)
+        return declaration
+
+    def add_inverse_relationship(self, class_name, forward_attribute, target_class, backward_attribute):
+        """Declare a many-to-many inverse relationship between two classes.
+
+        Following references in ``forward_attribute`` of ``class_name`` and
+        coming back through ``backward_attribute`` of ``target_class`` lands
+        on the starting object, and vice versa (the INV constraints of EC3).
+        """
+        source = self._class(class_name)
+        target = self._class(target_class)
+        if forward_attribute not in source.set_attributes:
+            raise SchemaError(
+                f"{class_name!r} has no set-valued attribute {forward_attribute!r}"
+            )
+        if backward_attribute not in target.set_attributes:
+            raise SchemaError(
+                f"{target_class!r} has no set-valued attribute {backward_attribute!r}"
+            )
+        declaration = (class_name, forward_attribute, target_class, backward_attribute)
+        self.inverses.append(declaration)
+        return declaration
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _relation(self, name):
+        if name not in self.relations:
+            raise SchemaError(f"unknown relation {name!r}")
+        return self.relations[name]
+
+    def _class(self, name):
+        if name not in self.classes:
+            raise SchemaError(f"unknown class {name!r}")
+        return self.classes[name]
+
+
+__all__ = ["ClassDef", "LogicalSchema", "Relation"]

@@ -1,0 +1,167 @@
+"""Physical schema: indexes, materialized views and access support relations.
+
+Each physical structure is a declarative object; :mod:`repro.schema.compile`
+turns it into the pair of inclusion constraints (a *skeleton*) the C&B
+optimizer chases and backchases with, and :mod:`repro.engine.database`
+materialises it over a data instance so plans that use it can be executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class PrimaryIndex:
+    """A primary index: a dictionary from key values to the matching tuples.
+
+    ``name`` is the dictionary's schema name; ``relation`` the indexed
+    relation; ``attributes`` the (possibly composite) search key.
+    """
+
+    name: str
+    relation: str
+    attributes: tuple
+
+    kind = "primary_index"
+
+    def __post_init__(self):
+        if not self.attributes:
+            raise SchemaError(f"index {self.name!r} must have at least one key attribute")
+
+
+@dataclass(frozen=True)
+class SecondaryIndex:
+    """A secondary index (same shape as a primary index, on a non-key attribute).
+
+    The paper describes secondary indexes with one additional non-emptiness
+    constraint beyond the two inclusion constraints, which
+    :mod:`repro.schema.compile` emits.
+    """
+
+    name: str
+    relation: str
+    attributes: tuple
+
+    kind = "secondary_index"
+
+    def __post_init__(self):
+        if not self.attributes:
+            raise SchemaError(f"index {self.name!r} must have at least one key attribute")
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """A materialized view defined by a path-conjunctive query.
+
+    The definition's output labels become the view's attributes.
+    """
+
+    name: str
+    definition: object  # PCQuery
+
+    kind = "materialized_view"
+
+    @property
+    def attributes(self):
+        return tuple(label for label, _ in self.definition.output)
+
+
+@dataclass(frozen=True)
+class AccessSupportRelation:
+    """An access support relation (ASR): a materialized navigation join.
+
+    ASRs are binary tables storing the oids at the two ends of a navigation
+    path.  They are described by a path-conjunctive definition exactly like a
+    materialized view; the separate class exists because the experiments and
+    reports distinguish them.
+    """
+
+    name: str
+    definition: object  # PCQuery
+
+    kind = "access_support_relation"
+
+    @property
+    def attributes(self):
+        return tuple(label for label, _ in self.definition.output)
+
+
+@dataclass
+class PhysicalSchema:
+    """The collection of physical access structures available to the optimizer."""
+
+    structures: dict = field(default_factory=dict)
+
+    def _add(self, structure):
+        if structure.name in self.structures:
+            raise SchemaError(f"physical structure {structure.name!r} declared twice")
+        self.structures[structure.name] = structure
+        return structure
+
+    def add_primary_index(self, name, relation, attributes):
+        """Declare a primary index over ``relation`` on ``attributes``."""
+        return self._add(PrimaryIndex(name, relation, tuple(attributes)))
+
+    def add_secondary_index(self, name, relation, attributes):
+        """Declare a secondary index over ``relation`` on ``attributes``."""
+        return self._add(SecondaryIndex(name, relation, tuple(attributes)))
+
+    def add_materialized_view(self, name, definition):
+        """Declare a materialized view with a path-conjunctive ``definition``."""
+        definition.validate()
+        return self._add(MaterializedView(name, definition))
+
+    def add_access_support_relation(self, name, definition):
+        """Declare an access support relation with a navigation ``definition``."""
+        definition.validate()
+        return self._add(AccessSupportRelation(name, definition))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def structure(self, name):
+        if name not in self.structures:
+            raise SchemaError(f"unknown physical structure {name!r}")
+        return self.structures[name]
+
+    def names(self):
+        return tuple(self.structures)
+
+    def __contains__(self, name):
+        return name in self.structures
+
+    def indexes(self):
+        """Return every index (primary and secondary)."""
+        return [
+            structure
+            for structure in self.structures.values()
+            if isinstance(structure, (PrimaryIndex, SecondaryIndex))
+        ]
+
+    def views(self):
+        """Return every materialized view."""
+        return [
+            structure
+            for structure in self.structures.values()
+            if isinstance(structure, MaterializedView)
+        ]
+
+    def access_support_relations(self):
+        """Return every access support relation."""
+        return [
+            structure
+            for structure in self.structures.values()
+            if isinstance(structure, AccessSupportRelation)
+        ]
+
+
+__all__ = [
+    "AccessSupportRelation",
+    "MaterializedView",
+    "PhysicalSchema",
+    "PrimaryIndex",
+    "SecondaryIndex",
+]

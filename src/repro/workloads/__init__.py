@@ -1,0 +1,18 @@
+"""The paper's three experimental configurations as reusable workload builders.
+
+* :mod:`repro.workloads.ec1` -- EC1: relational chain queries with primary and
+  secondary indexes (Section 5.1, Figure 4).
+* :mod:`repro.workloads.ec2` -- EC2: chain-of-stars queries with materialized
+  views and key constraints (Figures 1 and 7, Sections 5.3-5.4).
+* :mod:`repro.workloads.ec3` -- EC3: OO navigation queries with inverse
+  relationships and access support relations (Figure 2).
+* :mod:`repro.workloads.datagen` -- synthetic data generation with the
+  cardinalities and join selectivities reported in Section 5.4.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.ec1 import build_ec1
+from repro.workloads.ec2 import build_ec2
+from repro.workloads.ec3 import build_ec3
+
+__all__ = ["Workload", "build_ec1", "build_ec2", "build_ec3"]

@@ -1,0 +1,128 @@
+"""Synthetic data generators with the paper's cardinalities and selectivities.
+
+Section 5.4 reports the dataset used for the end-to-end EC2 experiment:
+
+* ``|R_i| = |S_ij| = 5,000`` tuples,
+* the join ``R_i ⋈ S_ij`` selects about 4 % of the tuples,
+* the join ``R_i ⋈ R_{i+1}`` (on the foreign key ``F``) about 2 %,
+* the ``B`` attributes of the corner relations have few distinct values.
+
+The generators below reproduce those shapes at a configurable scale so the
+relative execution times of the generated plans (Figures 9 and 10) keep the
+same ordering on a pure-Python engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Fractions reported in Section 5.4.
+CORNER_JOIN_SELECTIVITY = 0.04
+HUB_JOIN_SELECTIVITY = 0.02
+DISTINCT_B_VALUES = 20
+
+
+def populate_ec1(database, relations, size=1000, seed=0, match_fraction=0.05):
+    """Populate the EC1 chain relations ``R_1 .. R_n``.
+
+    Each relation has attributes ``K`` (the key), ``N`` (the value joined with
+    the next relation's key) and ``C`` (payload).  ``match_fraction`` of the
+    ``N`` values reference an existing key of the next relation.
+    """
+    rng = random.Random(seed)
+    for position, name in enumerate(relations):
+        rows = []
+        for key in range(size):
+            if rng.random() < match_fraction:
+                next_key = rng.randrange(size)
+            else:
+                next_key = -1 - key
+            rows.append({"K": key, "N": next_key, "C": rng.randrange(100)})
+        database.add_table(name, rows)
+    return database
+
+
+def populate_ec2(database, stars, corners, size=1000, seed=0):
+    """Populate the EC2 chain-of-stars schema.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.engine.database.Database` to fill.
+    stars / corners:
+        Shape of the configuration: ``stars`` hub relations ``R_i``, each with
+        ``corners`` corner relations ``S_ij``.
+    size:
+        Tuples per relation (the paper uses 5,000).
+    seed:
+        Random seed for reproducibility.
+    """
+    rng = random.Random(seed)
+    for star in range(1, stars + 1):
+        corner_keys = {}
+        for corner in range(1, corners + 1):
+            rows = []
+            for row_id in range(size):
+                rows.append(
+                    {
+                        "A": _corner_value(star, corner, row_id),
+                        "B": rng.randrange(DISTINCT_B_VALUES),
+                    }
+                )
+            database.add_table(f"S{star}{corner}", rows)
+            corner_keys[corner] = size
+        hub_rows = []
+        for key in range(size):
+            row = {"K": key}
+            # Foreign key into the next star's hub: ~2 % of rows match.
+            if rng.random() < HUB_JOIN_SELECTIVITY:
+                row["F"] = rng.randrange(size)
+            else:
+                row["F"] = -1 - key
+            # Corner joins: ~4 % of hub rows match each corner relation.
+            for corner in range(1, corners + 1):
+                if rng.random() < CORNER_JOIN_SELECTIVITY:
+                    row[f"A{corner}"] = _corner_value(star, corner, rng.randrange(size))
+                else:
+                    row[f"A{corner}"] = -1 - key
+            hub_rows.append(row)
+        database.add_table(f"R{star}", hub_rows)
+    return database
+
+
+def _corner_value(star, corner, row_id):
+    """A value namespace per (star, corner) so corners never join accidentally."""
+    return star * 10_000_000 + corner * 1_000_000 + row_id
+
+
+def populate_ec3(database, classes, size=200, seed=0, fanout=2):
+    """Populate the EC3 class extents ``M_1 .. M_n`` with consistent inverses.
+
+    Every object of class ``M_i`` references ``fanout`` random objects of
+    ``M_{i+1}`` through its ``N`` attribute; the ``P`` attribute of ``M_{i+1}``
+    objects is computed as the exact inverse, so the INV constraints hold on
+    the instance (the optimizer relies on them being true).
+    """
+    rng = random.Random(seed)
+    extents = {name: {oid: {"N": [], "P": []} for oid in range(size)} for name in classes}
+    for position in range(len(classes) - 1):
+        source = extents[classes[position]]
+        target = extents[classes[position + 1]]
+        for oid, state in source.items():
+            references = sorted(rng.sample(range(size), min(fanout, size)))
+            state["N"] = references
+            for referenced in references:
+                target[referenced]["P"].append(oid)
+    for name, extent in extents.items():
+        database.add_dictionary(name, extent)
+    return database
+
+
+__all__ = [
+    "CORNER_JOIN_SELECTIVITY",
+    "DISTINCT_B_VALUES",
+    "HUB_JOIN_SELECTIVITY",
+    "populate_ec1",
+    "populate_ec2",
+    "populate_ec3",
+]

@@ -1,0 +1,74 @@
+"""EC1: relational chain queries with primary and secondary indexes.
+
+The schema has ``n`` relations ``R_i(K, N, C)``; every relation has a primary
+index ``PI_i`` on its key ``K`` and the first ``j`` relations additionally
+have a secondary index ``SI_i`` on the foreign-key attribute ``N``.  The
+query is the chain join ``R_1 ⋈ ... ⋈ R_n`` on ``R_i.N = R_{i+1}.K``
+returning all keys (Figure 4 of the paper).
+
+Scaling parameters: ``n`` (relations, equals the number of primary indexes)
+and ``j`` (secondary indexes); the total number of indexes is ``m = n + j``.
+"""
+
+from __future__ import annotations
+
+from repro.cq.query import PCQuery
+from repro.schema.catalog import Catalog
+from repro.workloads.base import Workload
+from repro.workloads.datagen import populate_ec1
+
+
+def build_catalog(relations, secondary_indexes=0):
+    """Build the EC1 catalog with ``relations`` chain relations."""
+    catalog = Catalog()
+    for position in range(1, relations + 1):
+        name = f"R{position}"
+        catalog.add_relation(name, ["K", "N", "C"], key=["K"])
+        catalog.add_primary_index(f"PI{position}", name, ["K"])
+        if position <= secondary_indexes:
+            catalog.add_secondary_index(f"SI{position}", name, ["N"])
+    return catalog
+
+
+def build_query(relations):
+    """Build the chain query over ``relations`` relations."""
+    froms = ", ".join(f"R{position} r{position}" for position in range(1, relations + 1))
+    outputs = ", ".join(f"K{position}: r{position}.K" for position in range(1, relations + 1))
+    conditions = " and ".join(
+        f"r{position}.N = r{position + 1}.K" for position in range(1, relations)
+    )
+    text = f"select struct({outputs}) from {froms}"
+    if conditions:
+        text += f" where {conditions}"
+    return PCQuery.parse(text).validate()
+
+
+def build_ec1(relations=3, secondary_indexes=0):
+    """Build a full EC1 workload instance."""
+    catalog = build_catalog(relations, secondary_indexes)
+    query = build_query(relations)
+    relation_names = [f"R{position}" for position in range(1, relations + 1)]
+
+    def populate(database, size=1000, seed=0):
+        return populate_ec1(database, relation_names, size=size, seed=seed)
+
+    return Workload(
+        name="EC1",
+        catalog=catalog,
+        query=query,
+        params={"relations": relations, "secondary_indexes": secondary_indexes},
+        populate=populate,
+    )
+
+
+def expected_plan_count(relations, secondary_indexes=0):
+    """Number of plans the complete strategies generate for EC1.
+
+    Each relation can be accessed through a table scan or its primary index;
+    relations with a secondary index have a third choice, hence
+    ``2^(n-j) * 3^j`` plans (Example 3.1 generalised).
+    """
+    return (2 ** (relations - secondary_indexes)) * (3 ** secondary_indexes)
+
+
+__all__ = ["build_catalog", "build_ec1", "build_query", "expected_plan_count"]

@@ -1,0 +1,103 @@
+"""EC2: chain-of-stars queries with materialized views and key constraints.
+
+The schema (Figure 1 of the paper, generalising Example 2.2) has ``s`` stars.
+Star ``i`` has a hub relation ``R_i(K, F, A_1..A_c)`` and ``c`` corner
+relations ``S_ij(A, B)``; the hub joins corner ``j`` on ``A_j = S_ij.A`` and
+chains to the next star through the foreign key ``F = R_{i+1}.K``.  The key
+``K`` of every hub is declared (the constraint the rewriting with views needs)
+and ``v <= c - 1`` materialized views per star are available, view ``V_il``
+joining the hub with corners ``l`` and ``l+1`` and exposing ``(K, B_1, B_2)``.
+
+The query returns the ``B`` attribute of every corner relation.  Scaling
+parameters: ``stars``, ``corners`` (per star) and ``views`` (per star).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.cq.query import PCQuery
+from repro.schema.catalog import Catalog
+from repro.workloads.base import Workload
+from repro.workloads.datagen import populate_ec2
+
+
+def view_definition(star, first_corner):
+    """The defining query of view ``V_{star,first_corner}``."""
+    return PCQuery.parse(
+        f"""
+        select struct(K: r.K, B1: s1.B, B2: s2.B)
+        from R{star} r, S{star}{first_corner} s1, S{star}{first_corner + 1} s2
+        where r.A{first_corner} = s1.A and r.A{first_corner + 1} = s2.A
+        """
+    )
+
+
+def build_catalog(stars, corners, views):
+    """Build the EC2 catalog: hubs, corners, key constraints and views."""
+    if views > max(corners - 1, 0):
+        raise SchemaError("EC2 allows at most corners - 1 views per star")
+    catalog = Catalog()
+    for star in range(1, stars + 1):
+        attributes = ["K", "F"] + [f"A{corner}" for corner in range(1, corners + 1)]
+        catalog.add_relation(f"R{star}", attributes, key=["K"])
+        catalog.add_key(f"R{star}", ["K"])
+        for corner in range(1, corners + 1):
+            catalog.add_relation(f"S{star}{corner}", ["A", "B"])
+        for view in range(1, views + 1):
+            catalog.add_materialized_view(f"V{star}{view}", view_definition(star, view))
+    return catalog
+
+
+def build_query(stars, corners):
+    """Build the chain-of-stars query returning every corner's ``B`` attribute."""
+    froms, conditions, outputs = [], [], []
+    for star in range(1, stars + 1):
+        froms.append(f"R{star} r{star}")
+        for corner in range(1, corners + 1):
+            froms.append(f"S{star}{corner} s{star}_{corner}")
+            conditions.append(f"r{star}.A{corner} = s{star}_{corner}.A")
+            outputs.append(f"B{star}_{corner}: s{star}_{corner}.B")
+        if star < stars:
+            conditions.append(f"r{star}.F = r{star + 1}.K")
+    text = (
+        f"select struct({', '.join(outputs)}) from {', '.join(froms)} "
+        f"where {' and '.join(conditions)}"
+    )
+    return PCQuery.parse(text).validate()
+
+
+def build_ec2(stars=2, corners=3, views=1):
+    """Build a full EC2 workload instance."""
+    catalog = build_catalog(stars, corners, views)
+    query = build_query(stars, corners)
+
+    def populate(database, size=1000, seed=0):
+        return populate_ec2(database, stars, corners, size=size, seed=seed)
+
+    return Workload(
+        name="EC2",
+        catalog=catalog,
+        query=query,
+        params={"stars": stars, "corners": corners, "views": views},
+        populate=populate,
+    )
+
+
+def query_size(stars, corners):
+    """The paper's query-size measure for EC2: ``s * (c + 1)`` bindings."""
+    return stars * (corners + 1)
+
+
+def constraint_count(stars, views):
+    """The paper's constraint-count measure: ``s * (1 + 2v)``."""
+    return stars * (1 + 2 * views)
+
+
+__all__ = [
+    "build_catalog",
+    "build_ec2",
+    "build_query",
+    "constraint_count",
+    "query_size",
+    "view_definition",
+]

@@ -1,0 +1,109 @@
+"""EC3: OO navigation queries with inverse relationships and ASRs.
+
+The schema has ``n`` classes ``M_1 .. M_n``; consecutive classes are related
+by a many-to-many inverse relationship (the ``N``/"next" and ``P``/"previous"
+reference sets, Figure 2 of the paper).  The physical schema contains access
+support relations: each ASR materialises a backwards navigation across three
+classes (two ``P`` steps) as a binary table ``(S, T)`` of oids.
+
+The query is the long navigation from ``M_1`` to ``M_n`` following the ``N``
+references; it does not map directly onto the ASRs, so the first (semantic)
+optimization phase must flip navigation directions with the inverse
+constraints before the second (physical) phase can introduce ASRs.
+
+Scaling parameters: ``classes`` (``n``) and ``asrs`` (``m``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.cq.query import PCQuery
+from repro.schema.catalog import Catalog
+from repro.workloads.base import Workload
+from repro.workloads.datagen import populate_ec3
+
+
+def asr_definition(start_class, middle_class):
+    """The defining navigation of an ASR from ``start_class`` back two ``P`` steps.
+
+    The ASR stores pairs ``(S, T)`` where ``S`` is an oid of ``start_class``
+    and ``T`` is an oid reachable from it by following ``P`` twice (through
+    ``middle_class``).
+    """
+    return PCQuery.parse(
+        f"""
+        select struct(S: k2, T: o2)
+        from dom {start_class} k2, {start_class}[k2].P o1, dom {middle_class} k1, {middle_class}[k1].P o2
+        where o1 = k1
+        """
+    )
+
+
+def build_catalog(classes, asrs=0):
+    """Build the EC3 catalog: classes, inverse relationships and ASRs."""
+    max_asrs = max((classes - 1) // 2, 0)
+    if asrs > max_asrs:
+        raise SchemaError(f"EC3 with {classes} classes supports at most {max_asrs} ASRs")
+    catalog = Catalog()
+    for position in range(1, classes + 1):
+        catalog.add_class(f"M{position}", attributes=[], set_attributes=["N", "P"])
+    for position in range(1, classes):
+        catalog.add_inverse_relationship(f"M{position}", "N", f"M{position + 1}", "P")
+    for asr in range(1, asrs + 1):
+        start = 2 * asr + 1
+        catalog.add_access_support_relation(
+            f"ASR{asr}", asr_definition(f"M{start}", f"M{start - 1}")
+        )
+    return catalog
+
+
+def build_query(classes):
+    """Build the N-navigation query from ``M_1`` to ``M_classes``."""
+    froms, conditions = [], []
+    for position in range(1, classes):
+        froms.append(f"dom M{position} k{position}")
+        froms.append(f"M{position}[k{position}].N o{position}")
+        if position > 1:
+            conditions.append(f"o{position - 1} = k{position}")
+    text = f"select struct(F: k1, L: o{classes - 1}) from {', '.join(froms)}"
+    if conditions:
+        text += f" where {' and '.join(conditions)}"
+    return PCQuery.parse(text).validate()
+
+
+def build_ec3(classes=4, asrs=0):
+    """Build a full EC3 workload instance."""
+    catalog = build_catalog(classes, asrs)
+    query = build_query(classes)
+    class_names = [f"M{position}" for position in range(1, classes + 1)]
+
+    def populate(database, size=200, seed=0):
+        return populate_ec3(database, class_names, size=size, seed=seed)
+
+    return Workload(
+        name="EC3",
+        catalog=catalog,
+        query=query,
+        params={"classes": classes, "asrs": asrs},
+        populate=populate,
+    )
+
+
+def inverse_constraint_count(classes):
+    """The paper's count: 2 constraints per inverse relationship."""
+    return 2 * (classes - 1)
+
+
+def expected_plan_count(classes):
+    """Plans from the semantic (inverse) phase: each hop can be flipped."""
+    return 2 ** (classes - 1)
+
+
+__all__ = [
+    "asr_definition",
+    "build_catalog",
+    "build_ec3",
+    "build_query",
+    "expected_plan_count",
+    "inverse_constraint_count",
+]

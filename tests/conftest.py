@@ -1,0 +1,52 @@
+"""Shared fixtures: small catalogs and queries used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq.query import PCQuery
+from repro.schema.catalog import Catalog
+
+
+@pytest.fixture
+def simple_catalog():
+    """A two-relation catalog with a foreign key (Example 2.1's shape)."""
+    catalog = Catalog()
+    catalog.add_relation("R", ["A", "B", "C", "E"])
+    catalog.add_relation("S", ["A"])
+    catalog.add_foreign_key("R", ["A"], "S", ["A"])
+    return catalog
+
+
+@pytest.fixture
+def star_catalog():
+    """A single-star EC2 catalog: hub R1, corners S11..S13, one view, a key."""
+    catalog = Catalog()
+    catalog.add_relation("R1", ["K", "F", "A1", "A2", "A3"], key=["K"])
+    catalog.add_key("R1", ["K"])
+    for corner in (1, 2, 3):
+        catalog.add_relation(f"S1{corner}", ["A", "B"])
+    view = PCQuery.parse(
+        "select struct(K: r.K, B1: s1.B, B2: s2.B) "
+        "from R1 r, S11 s1, S12 s2 where r.A1 = s1.A and r.A2 = s2.A"
+    )
+    catalog.add_materialized_view("V11", view)
+    return catalog
+
+
+@pytest.fixture
+def star_query():
+    """The single-star query over the star_catalog fixture."""
+    return PCQuery.parse(
+        "select struct(B1: s1.B, B2: s2.B, B3: s3.B) "
+        "from R1 r, S11 s1, S12 s2, S13 s3 "
+        "where r.A1 = s1.A and r.A2 = s2.A and r.A3 = s3.A"
+    ).validate()
+
+
+@pytest.fixture
+def chain_query():
+    """A two-relation chain join used by chase/backchase unit tests."""
+    return PCQuery.parse(
+        "select struct(A: r1.K, B: r2.K) from R1 r1, R2 r2 where r1.N = r2.K"
+    ).validate()

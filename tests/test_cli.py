@@ -1,0 +1,65 @@
+"""Tests for the command-line experiment runner."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_optimize_arguments(self):
+        args = build_parser().parse_args(
+            ["optimize", "ec2", "--stars", "2", "--corners", "3", "--views", "1", "--strategy", "oqf"]
+        )
+        assert args.workload == "ec2"
+        assert args.strategy == "oqf"
+        assert (args.stars, args.corners, args.views) == (2, 3, 1)
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_command(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        listed = out.getvalue().split()
+        assert "fig9" in listed and "plans-table" in listed
+
+    def test_optimize_ec1(self):
+        out = io.StringIO()
+        assert main(["optimize", "ec1", "--relations", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "4 plans" in text
+        assert "PI1" in text
+
+    def test_optimize_ec3_with_strategy(self):
+        out = io.StringIO()
+        assert main(["optimize", "ec3", "--classes", "3", "--strategy", "ocs"], out=out) == 0
+        assert "4 plans" in out.getvalue()
+
+    def test_fig5_ec3_small(self):
+        out = io.StringIO()
+        # The driver accepts no CLI-tunable knobs, so this runs its default
+        # (small) parameterisation; just check a table is printed.
+        assert main(["fig5-ec3"], out=out) == 0
+        assert "time to chase" in out.getvalue()
+
+    def test_fig9_with_small_size(self):
+        out = io.StringIO()
+        assert (
+            main(
+                ["fig9", "--stars", "2", "--corners", "2", "--views", "1", "--size", "200"],
+                out=out,
+            )
+            == 0
+        )
+        assert "plans for EC2" in out.getvalue()

@@ -1,0 +1,177 @@
+"""Unit and integration tests for the execution engine and cost model."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.cq.query import PCQuery
+from repro.engine.cost import CostModel
+from repro.engine.database import Database
+from repro.engine.executor import execute
+from repro.engine.storage import Dictionary, Table
+from repro.schema.catalog import Catalog
+
+
+def q(text):
+    return PCQuery.parse(text).validate()
+
+
+@pytest.fixture
+def small_database(star_catalog):
+    database = Database(star_catalog)
+    database.add_table(
+        "R1",
+        [
+            {"K": 1, "F": 10, "A1": 100, "A2": 200, "A3": 300},
+            {"K": 2, "F": 20, "A1": 101, "A2": 201, "A3": 301},
+            {"K": 3, "F": 30, "A1": 999, "A2": 999, "A3": 999},
+        ],
+    )
+    database.add_table("S11", [{"A": 100, "B": 7}, {"A": 101, "B": 8}])
+    database.add_table("S12", [{"A": 200, "B": 5}, {"A": 201, "B": 6}])
+    database.add_table("S13", [{"A": 300, "B": 1}, {"A": 301, "B": 2}])
+    database.materialize_physical(star_catalog)
+    return database
+
+
+class TestStorage:
+    def test_table_hash_index(self):
+        table = Table("T", [{"A": 1, "B": 2}, {"A": 1, "B": 3}, {"A": 2, "B": 4}])
+        assert len(table.lookup("A", 1)) == 2
+        assert table.lookup("A", 99) == []
+
+    def test_table_add_invalidates_index(self):
+        table = Table("T", [{"A": 1}])
+        assert len(table.lookup("A", 1)) == 1
+        table.add({"A": 1})
+        assert len(table.lookup("A", 1)) == 2
+
+    def test_table_missing_attribute_raises(self):
+        table = Table("T", [{"A": 1}])
+        with pytest.raises(ExecutionError):
+            table.hash_index("Z")
+
+    def test_dictionary_membership_and_get(self):
+        dictionary = Dictionary("M", {1: {"N": [2]}})
+        assert 1 in dictionary
+        assert dictionary.get(1) == {"N": [2]}
+        assert dictionary.get(99) is None
+
+    def test_database_unknown_collection(self):
+        with pytest.raises(ExecutionError):
+            Database().collection("missing")
+
+
+class TestMaterialization:
+    def test_views_are_materialized(self, small_database):
+        view = small_database.collection("V11")
+        assert isinstance(view, Table)
+        # Rows 1 and 2 of R1 join both corners; row 3 joins nothing.
+        assert sorted(row["K"] for row in view) == [1, 2]
+        assert set(view.rows[0]) == {"K", "B1", "B2"}
+
+    def test_statistics_are_refreshed(self, small_database, star_catalog):
+        assert star_catalog.statistics.cardinality("R1") == 3
+        assert star_catalog.statistics.cardinality("V11") == 2
+
+    def test_index_materialization(self):
+        catalog = Catalog()
+        catalog.add_relation("R", ["K", "N"], key=["K"])
+        catalog.add_primary_index("PI", "R", ["K"])
+        database = Database(catalog)
+        database.add_table("R", [{"K": 1, "N": 2}, {"K": 2, "N": 3}])
+        database.materialize_physical()
+        index = database.collection("PI")
+        assert isinstance(index, Dictionary)
+        assert index.get(1) == [{"K": 1, "N": 2}]
+
+
+class TestExecutor:
+    def test_selection_and_projection(self, small_database):
+        rows = execute(q("select struct(K: r.K) from R1 r where r.A1 = 100"), small_database)
+        assert rows == [{"K": 1}]
+
+    def test_join_via_hash_probe(self, small_database):
+        rows = execute(
+            q("select struct(K: r.K, B: s.B) from R1 r, S11 s where r.A1 = s.A"),
+            small_database,
+        )
+        assert sorted(row["K"] for row in rows) == [1, 2]
+
+    def test_original_star_query(self, small_database, star_query):
+        rows = execute(star_query, small_database)
+        assert sorted((row["B1"], row["B2"], row["B3"]) for row in rows) == [(7, 5, 1), (8, 6, 2)]
+
+    def test_view_plan_returns_same_rows(self, small_database, star_catalog, star_query):
+        result = star_catalog  # catalog fixture reuse for clarity
+        optimizer_plans = (
+            __import__("repro.chase.optimizer", fromlist=["CBOptimizer"])
+            .CBOptimizer(result)
+            .optimize(star_query, "fb")
+            .plans
+        )
+        reference = execute(star_query, small_database)
+        reference_key = sorted(tuple(sorted(row.items())) for row in reference)
+        for plan in optimizer_plans:
+            rows = execute(plan.query, small_database)
+            assert sorted(tuple(sorted(row.items())) for row in rows) == reference_key
+
+    def test_dictionary_navigation(self):
+        database = Database()
+        database.add_dictionary("M1", {1: {"N": [10, 11]}, 2: {"N": []}})
+        database.add_dictionary("M2", {10: {"P": [1]}, 11: {"P": [1]}})
+        rows = execute(
+            q("select struct(F: k, L: o) from dom M1 k, M1[k].N o"), database
+        )
+        assert sorted((row["F"], row["L"]) for row in rows) == [(1, 10), (1, 11)]
+
+    def test_missing_lookup_yields_no_rows(self):
+        database = Database()
+        database.add_dictionary("M1", {1: {"N": [99]}})
+        database.add_dictionary("M2", {10: {"P": []}})
+        rows = execute(
+            q("select struct(F: k, L: o2) from dom M1 k, M1[k].N o, M2[o].P o2"), database
+        )
+        assert rows == []
+
+    def test_constant_condition_filtering(self, small_database):
+        rows = execute(q("select struct(K: r.K) from R1 r where r.F = 20"), small_database)
+        assert rows == [{"K": 2}]
+
+    def test_cartesian_product_when_no_conditions(self, small_database):
+        rows = execute(q("select struct(K: r.K, B: s.B) from R1 r, S11 s"), small_database)
+        assert len(rows) == 6
+
+    def test_unpopulated_collection_raises(self, small_database):
+        with pytest.raises(ExecutionError):
+            execute(q("select struct(X: t.X) from Missing t"), small_database)
+
+
+class TestCostModel:
+    def test_smaller_plan_is_cheaper(self, small_database, star_catalog, star_query):
+        model = CostModel(star_catalog)
+        from repro.chase.optimizer import CBOptimizer
+
+        result = CBOptimizer(star_catalog).optimize(star_query, "fb")
+        view_plan = next(p for p in result.plans if "V11" in p.collections_used())
+        original_plan = next(p for p in result.plans if "V11" not in p.collections_used())
+        assert model.cost(view_plan.query) < model.cost(original_plan.query)
+
+    def test_best_plan_selection_uses_cost_model(self, small_database, star_catalog, star_query):
+        from repro.chase.optimizer import CBOptimizer
+
+        model = CostModel(star_catalog)
+        result = CBOptimizer(star_catalog).optimize(star_query, "fb")
+        best = result.best_plan(model)
+        assert "V11" in best.query.collections_used()
+
+    def test_equality_selectivity_reduces_cost(self, star_catalog):
+        model = CostModel(star_catalog)
+        star_catalog.statistics.set_cardinality("R1", 1000)
+        star_catalog.statistics.set_distinct("R1", "A1", 100)
+        filtered = q("select struct(K: r.K) from R1 r, S11 s where r.A1 = s.A")
+        unfiltered = q("select struct(K: r.K) from R1 r, S11 s")
+        assert model.cost(filtered) < model.cost(unfiltered)
+
+    def test_cost_model_is_callable(self, star_catalog, star_query):
+        model = CostModel(star_catalog)
+        assert model(star_query) == model.cost(star_query)

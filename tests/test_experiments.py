@@ -1,0 +1,99 @@
+"""Tests for the experiment harness, figure drivers and reporting (small scales)."""
+
+from repro.experiments.figures import (
+    figure5_ec1,
+    figure5_ec2,
+    figure5_ec3,
+    figure6_ec1,
+    figure6_ec3,
+    figure7_ec2,
+    figure8_granularity,
+    figure9_plan_detail,
+    figure10_time_reduction,
+    plans_table_ec2,
+)
+from repro.experiments.harness import measure_chase, measure_execution, measure_strategy
+from repro.experiments.reporting import render_series, render_table
+from repro.workloads.ec2 import build_ec2
+from repro.workloads.ec3 import build_ec3
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long header"], [[1, 2.5], ["xyz", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long header" in lines[1]
+        assert "2.500" in text
+
+    def test_render_series(self):
+        text = render_series({"s1": [(1, 0.5), (2, 0.7)], "s2": [(1, 0.1)]}, x_label="n")
+        assert "s1" in text and "s2" in text and "0.700" in text
+
+
+class TestHarness:
+    def test_measure_chase(self):
+        measurement = measure_chase(build_ec2(1, 3, 1))
+        assert measurement.query_size == 4
+        assert measurement.constraint_count == 3
+        assert measurement.universal_plan_size >= 4
+        assert measurement.chase_time >= 0
+
+    def test_measure_strategy(self):
+        measurement = measure_strategy(build_ec2(1, 3, 1), "fb")
+        assert measurement.plan_count == 2
+        assert measurement.time_per_plan > 0
+        assert not measurement.timed_out
+
+    def test_measure_execution_redux_indices(self):
+        measurement = measure_execution(build_ec2(1, 3, 1), size=200, seed=0)
+        assert len(measurement.plan_rows) == 2
+        assert all(entry["matches_original"] for entry in measurement.plan_rows)
+        assert measurement.best_execution_time <= measurement.original_execution_time
+        assert measurement.redux <= measurement.redux_first <= 1.0
+
+
+class TestFigureDrivers:
+    def test_figure5_drivers_produce_rows(self):
+        assert len(figure5_ec1(settings=((2, 0), (2, 1))).rows) == 2
+        assert len(figure5_ec2(stars=1, corner_range=(3, 4), views_options=(1,)).rows) == 2
+        assert len(figure5_ec3(class_counts=(2, 3)).rows) == 2
+
+    def test_plans_table_matches_paper_on_small_rows(self):
+        result = plans_table_ec2(rows=((1, 3, 1, 2, 2), (1, 3, 2, 4, 3)), timeout=60)
+        for row in result.rows:
+            _, _, _, fb, oqf, ocs, paper_complete, paper_ocs = row
+            assert fb == oqf == paper_complete
+            assert ocs == paper_ocs
+
+    def test_figure6_and_7_drivers(self):
+        ec1_rows = figure6_ec1(settings=((2, 0), (2, 1)), timeout=30).rows
+        assert len(ec1_rows) == 2
+        ec3_rows = figure6_ec3(class_counts=(2, 3), timeout=30).rows
+        assert len(ec3_rows) == 2
+        ec2_rows = figure7_ec2(points=((1, 1, 3),), timeout=30).rows
+        assert len(ec2_rows) == 1
+
+    def test_figure8_granularity_normalizes_to_first_point(self):
+        result = figure8_granularity(
+            workloads=[("EC3 with 3 classes", build_ec3(3)), ("EC2 [2,2,1]", build_ec2(2, 2, 1))],
+            timeout=60,
+        )
+        assert result.rows
+        first_row = result.rows[0]
+        assert first_row[0] == 1
+        for value in first_row[1:]:
+            assert value == 1.0
+
+    def test_figure9_plan_detail(self):
+        result = figure9_plan_detail(stars=2, corners=2, views=1, size=200)
+        assert len(result.rows) == 4
+        assert all(row[-1] for row in result.rows)  # every plan matches the original
+        assert "plans generated" in result.notes
+        assert result.render()
+
+    def test_figure10_time_reduction(self):
+        result = figure10_time_reduction(points=((2, 2, 1),), size=200)
+        assert len(result.rows) == 1
+        assert result.measurements[0].plan_rows
+        assert result.render()

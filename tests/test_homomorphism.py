@@ -1,0 +1,148 @@
+"""Unit tests for homomorphism search and containment mappings."""
+
+from repro.cq.containment import (
+    find_containment_mapping,
+    is_contained_in,
+    is_equivalent,
+    is_minimal,
+    minimize,
+    outputs_match,
+)
+from repro.cq.homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    find_homomorphisms,
+    query_homomorphisms,
+)
+from repro.cq.query import PCQuery
+from repro.lang.ast import Var
+
+
+def q(text):
+    return PCQuery.parse(text).validate()
+
+
+class TestHomomorphisms:
+    def test_identity_homomorphism_exists(self, star_query):
+        mappings = list(query_homomorphisms(star_query, star_query))
+        assert {var: Var(var) for var in star_query.variables} in mappings
+
+    def test_range_names_must_match(self):
+        source = q("select struct(X: r.A) from R r")
+        target = q("select struct(X: s.A) from S s")
+        assert find_homomorphism(source.bindings, source.conditions, target) is None
+
+    def test_conditions_must_be_implied(self):
+        source = q("select struct(X: r.A) from R r where r.A = 1")
+        target_without = q("select struct(X: r.A) from R r")
+        target_with = q("select struct(X: r.A) from R r where r.A = 1")
+        assert find_homomorphism(source.bindings, source.conditions, target_without) is None
+        assert find_homomorphism(source.bindings, source.conditions, target_with) is not None
+
+    def test_homomorphism_can_collapse_variables(self):
+        source = q("select struct(X: r1.A) from R r1, R r2 where r1.A = r2.A")
+        target = q("select struct(X: r.A) from R r")
+        mapping = find_homomorphism(source.bindings, source.conditions, target)
+        assert mapping == {"r1": Var("r"), "r2": Var("r")}
+
+    def test_injective_mode_forbids_collapsing(self):
+        source = q("select struct(X: r1.A) from R r1, R r2 where r1.A = r2.A")
+        target = q("select struct(X: r.A) from R r")
+        assert (
+            find_homomorphism(source.bindings, source.conditions, target, injective=True) is None
+        )
+
+    def test_count_homomorphisms(self):
+        source = q("select struct(X: r.A) from R r")
+        target = q("select struct(X: r1.A) from R r1, R r2")
+        assert count_homomorphisms(source.bindings, source.conditions, target) == 2
+
+    def test_initial_mapping_is_respected(self):
+        source = q("select struct(X: r.A) from R r")
+        target = q("select struct(X: r1.A) from R r1, R r2")
+        mappings = list(
+            find_homomorphisms(
+                source.bindings, source.conditions, target, initial={"r": Var("r2")}
+            )
+        )
+        assert mappings == [{"r": Var("r2")}]
+
+    def test_initial_mapping_with_wrong_range_rejected(self):
+        source = q("select struct(X: r.A) from R r")
+        target = q("select struct(X: s.A) from S s, R r1")
+        mappings = list(
+            find_homomorphisms(
+                source.bindings, source.conditions, target, initial={"r": Var("s")}
+            )
+        )
+        assert mappings == []
+
+    def test_dependent_ranges_follow_the_mapping(self):
+        source = q("select struct(O: o) from dom M k, M[k].N o")
+        target = q("select struct(O: o2) from dom M k2, M[k2].N o2")
+        mapping = find_homomorphism(source.bindings, source.conditions, target)
+        assert mapping == {"k": Var("k2"), "o": Var("o2")}
+
+    def test_pruning_matches_naive_search(self, star_query):
+        source = q("select struct(B1: s.B) from R1 r, S11 s where r.A1 = s.A")
+        pruned = count_homomorphisms(source.bindings, source.conditions, star_query)
+        naive = count_homomorphisms(
+            source.bindings, source.conditions, star_query, prune_early=False
+        )
+        assert pruned == naive == 1
+
+    def test_equality_modulo_where_clause(self):
+        # The source range is S, the target binds s over S and t with t = s;
+        # mapping onto t is allowed because the ranges are equal modulo the
+        # where clause of the target.
+        target = q("select struct(X: s.A) from S s, S t where s = t")
+        source = q("select struct(X: a.A) from S a, S b where a.A = b.A")
+        assert count_homomorphisms(source.bindings, source.conditions, target) == 4
+
+
+class TestContainment:
+    def test_equivalent_queries_with_renamed_variables(self):
+        first = q("select struct(X: r.A) from R r, S s where r.A = s.A")
+        second = q("select struct(X: a.A) from R a, S b where a.A = b.A")
+        assert is_equivalent(first, second)
+
+    def test_containment_is_directional(self):
+        smaller = q("select struct(X: r.A) from R r where r.A = 1")
+        larger = q("select struct(X: r.A) from R r")
+        assert is_contained_in(smaller, larger)
+        assert not is_contained_in(larger, smaller)
+
+    def test_outputs_must_match(self):
+        first = q("select struct(X: r.A) from R r")
+        second = q("select struct(X: r.B) from R r")
+        assert not is_equivalent(first, second)
+
+    def test_output_labels_must_match(self):
+        first = q("select struct(X: r.A) from R r")
+        second = q("select struct(Y: r.A) from R r")
+        assert not is_equivalent(first, second)
+        assert not outputs_match(first, second, {"r": Var("r")})
+
+    def test_redundant_join_is_contained(self):
+        redundant = q("select struct(X: r1.A) from R r1, R r2 where r1.A = r2.A")
+        minimal = q("select struct(X: r.A) from R r")
+        assert is_equivalent(redundant, minimal)
+
+    def test_find_containment_mapping_returns_mapping(self):
+        first = q("select struct(X: r.A) from R r")
+        second = q("select struct(X: a.A) from R a")
+        assert find_containment_mapping(first, second) == {"r": Var("a")}
+
+    def test_is_minimal_detects_redundancy(self):
+        redundant = q("select struct(X: r1.A) from R r1, R r2 where r1.A = r2.A")
+        assert not is_minimal(redundant)
+        assert is_minimal(q("select struct(X: r.A) from R r"))
+
+    def test_minimize_removes_redundant_bindings(self):
+        redundant = q("select struct(X: r1.A) from R r1, R r2 where r1.A = r2.A")
+        minimal = minimize(redundant)
+        assert minimal.size() == 1
+        assert is_equivalent(minimal, redundant)
+
+    def test_chain_query_is_minimal(self, chain_query):
+        assert is_minimal(chain_query)

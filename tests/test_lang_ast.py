@@ -1,0 +1,119 @@
+"""Unit tests for path expressions and the shared AST helpers."""
+
+import pytest
+
+from repro.lang.ast import (
+    Attr,
+    Binding,
+    Const,
+    Dom,
+    Eq,
+    Lookup,
+    SchemaRef,
+    Var,
+    path_root,
+    path_variables,
+    schema_names,
+    subpaths,
+    substitute,
+)
+
+
+class TestPathConstruction:
+    def test_attr_helper(self):
+        assert Var("r").attr("A") == Attr(Var("r"), "A")
+
+    def test_lookup_helper(self):
+        assert SchemaRef("M").lookup(Var("k")) == Lookup(SchemaRef("M"), Var("k"))
+
+    def test_dom_helper(self):
+        assert SchemaRef("M").dom == Dom(SchemaRef("M"))
+
+    def test_paths_are_hashable(self):
+        paths = {Var("x"), Const(1), SchemaRef("R"), Attr(Var("x"), "A")}
+        assert len(paths) == 4
+
+    def test_structural_equality(self):
+        assert Attr(Var("r"), "A") == Attr(Var("r"), "A")
+        assert Attr(Var("r"), "A") != Attr(Var("r"), "B")
+
+    def test_str_rendering(self):
+        path = Attr(Lookup(SchemaRef("M"), Var("k")), "N")
+        assert str(path) == "M[k].N"
+
+    def test_dom_str(self):
+        assert str(Dom(SchemaRef("M"))) == "dom M"
+
+    def test_const_str_quotes_strings(self):
+        assert str(Const("abc")) == "'abc'"
+        assert str(Const(3)) == "3"
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        assert substitute(Var("x"), {"x": Var("y")}) == Var("y")
+
+    def test_substitute_missing_variable_untouched(self):
+        assert substitute(Var("x"), {"z": Var("y")}) == Var("x")
+
+    def test_substitute_inside_attr(self):
+        path = Attr(Var("x"), "A")
+        assert substitute(path, {"x": Var("y")}) == Attr(Var("y"), "A")
+
+    def test_substitute_inside_lookup_and_dom(self):
+        path = Dom(Lookup(SchemaRef("M"), Var("k")))
+        result = substitute(path, {"k": Const(1)})
+        assert result == Dom(Lookup(SchemaRef("M"), Const(1)))
+
+    def test_substitute_constant_and_schema_ref(self):
+        assert substitute(Const(5), {"x": Var("y")}) == Const(5)
+        assert substitute(SchemaRef("R"), {"R": Var("y")}) == SchemaRef("R")
+
+    def test_substitute_with_non_path_raises(self):
+        with pytest.raises(TypeError):
+            substitute("not a path", {})
+
+
+class TestPathInspection:
+    def test_path_variables(self):
+        path = Attr(Lookup(SchemaRef("M"), Var("k")), "N")
+        assert path_variables(path) == {"k"}
+
+    def test_path_variables_of_const(self):
+        assert path_variables(Const(1)) == set()
+
+    def test_path_root_of_attr_chain(self):
+        assert path_root(Attr(Attr(Var("r"), "A"), "B")) == Var("r")
+
+    def test_path_root_of_lookup(self):
+        assert path_root(Lookup(SchemaRef("M"), Var("k"))) == SchemaRef("M")
+
+    def test_subpaths_postorder(self):
+        path = Attr(Lookup(SchemaRef("M"), Var("k")), "N")
+        parts = list(subpaths(path))
+        assert parts[-1] == path
+        assert SchemaRef("M") in parts and Var("k") in parts
+
+    def test_schema_names(self):
+        path = Lookup(SchemaRef("M"), Attr(Var("x"), "A"))
+        assert schema_names(path) == {"M"}
+
+
+class TestEqAndBinding:
+    def test_eq_normalized_is_order_insensitive(self):
+        first = Eq(Var("x"), Var("y")).normalized()
+        second = Eq(Var("y"), Var("x")).normalized()
+        assert first == second
+
+    def test_eq_substitute(self):
+        condition = Eq(Attr(Var("x"), "A"), Const(1))
+        assert condition.substitute({"x": Var("y")}) == Eq(Attr(Var("y"), "A"), Const(1))
+
+    def test_binding_substitute_only_affects_range(self):
+        binding = Binding("o", Attr(Lookup(SchemaRef("M"), Var("k")), "N"))
+        renamed = binding.substitute({"k": Var("k2")})
+        assert renamed.var == "o"
+        assert renamed.range == Attr(Lookup(SchemaRef("M"), Var("k2")), "N")
+
+    def test_eq_str(self):
+        assert str(Eq(Var("x"), Const(1))) == "x = 1"

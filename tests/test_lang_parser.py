@@ -1,0 +1,150 @@
+"""Unit tests for the OQL-like parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import Attr, Const, Dom, Lookup, SchemaRef, Var
+from repro.lang.parser import parse_dependency, parse_path, parse_query
+
+
+class TestPathParsing:
+    def test_simple_attribute(self):
+        assert parse_path("r.A") == Attr(Var("r"), "A")
+
+    def test_nested_attributes(self):
+        assert parse_path("r.A.B") == Attr(Attr(Var("r"), "A"), "B")
+
+    def test_dictionary_lookup(self):
+        assert parse_path("M[k]") == Lookup(Var("M"), Var("k"))
+
+    def test_dom(self):
+        assert parse_path("dom M") == Dom(Var("M"))
+
+    def test_lookup_then_attribute(self):
+        assert parse_path("M[k].N") == Attr(Lookup(Var("M"), Var("k")), "N")
+
+    def test_integer_constant(self):
+        assert parse_path("42") == Const(42)
+
+    def test_float_constant(self):
+        assert parse_path("4.5") == Const(4.5)
+
+    def test_string_constant(self):
+        assert parse_path("'abc'") == Const("abc")
+
+    def test_boolean_constants(self):
+        assert parse_path("true") == Const(True)
+        assert parse_path("false") == Const(False)
+
+    def test_parenthesised_path(self):
+        assert parse_path("(r).A") == Attr(Var("r"), "A")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_path("r.@")
+
+
+class TestQueryParsing:
+    def test_struct_output_with_colon(self):
+        query = parse_query("select struct(X: r.A) from R r")
+        assert query.output == (("X", Attr(Var("r"), "A")),)
+
+    def test_struct_output_with_equals(self):
+        query = parse_query("select struct(X = r.A) from R r")
+        assert query.output == (("X", Attr(Var("r"), "A")),)
+
+    def test_from_clause_oql_style(self):
+        query = parse_query("select struct(X: r.A) from R r")
+        assert query.bindings[0].var == "r"
+        assert query.bindings[0].range == SchemaRef("R")
+
+    def test_from_clause_in_style(self):
+        query = parse_query("select struct(X: r.A) from r in R")
+        assert query.bindings[0].range == SchemaRef("R")
+
+    def test_where_clause(self):
+        query = parse_query("select struct(X: r.A) from R r where r.B = 1 and r.C = 2")
+        assert len(query.conditions) == 2
+
+    def test_no_where_clause(self):
+        query = parse_query("select struct(X: r.A) from R r")
+        assert query.conditions == ()
+
+    def test_variables_resolved_against_bindings(self):
+        query = parse_query("select struct(X: r.A) from R r, S s where r.A = s.A")
+        condition = query.conditions[0]
+        assert condition.left == Attr(Var("r"), "A")
+        assert condition.right == Attr(Var("s"), "A")
+
+    def test_unbound_identifier_in_range_is_schema_ref(self):
+        query = parse_query("select struct(K: k) from dom M k")
+        assert query.bindings[0].range == Dom(SchemaRef("M"))
+
+    def test_dictionary_navigation_range(self):
+        query = parse_query("select struct(O: o) from dom M k, M[k].N o")
+        assert query.bindings[1].range == Attr(Lookup(SchemaRef("M"), Var("k")), "N")
+
+    def test_bare_output_list(self):
+        query = parse_query("select r.A, r.B from R r")
+        assert [label for label, _ in query.output] == ["A", "B"]
+
+    def test_select_distinct_is_accepted(self):
+        query = parse_query("select distinct struct(X: r.A) from R r")
+        assert query.output[0][0] == "X"
+
+    def test_missing_from_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("select struct(X: r.A)")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("select struct(X: r.A) from R r extra")
+
+    def test_multiple_bindings_and_constants(self):
+        query = parse_query(
+            "select struct(A: r.A, E: r.E) from R r, S s "
+            "where r.B = 'b' and r.C = 3 and r.A = s.A"
+        )
+        assert len(query.bindings) == 2
+        assert Const("b") in (query.conditions[0].left, query.conditions[0].right)
+
+
+class TestDependencyParsing:
+    def test_tgd(self):
+        universal, premise, existential, conclusion = parse_dependency(
+            "forall r in R implies exists s in S where r.A = s.A"
+        )
+        assert [binding.var for binding in universal] == ["r"]
+        assert premise == ()
+        assert [binding.var for binding in existential] == ["s"]
+        assert len(conclusion) == 1
+
+    def test_tgd_with_premise(self):
+        universal, premise, existential, conclusion = parse_dependency(
+            "forall r in R, s1 in S where r.A = s1.A "
+            "implies exists v in V where v.K = r.K"
+        )
+        assert len(universal) == 2
+        assert len(premise) == 1
+        assert len(existential) == 1
+        assert len(conclusion) == 1
+
+    def test_egd(self):
+        universal, premise, existential, conclusion = parse_dependency(
+            "forall r in R, r2 in R where r.K = r2.K implies r = r2"
+        )
+        assert existential == ()
+        assert conclusion[0].left == Var("r")
+        assert conclusion[0].right == Var("r2")
+
+    def test_dictionary_dependency(self):
+        universal, _, existential, conclusion = parse_dependency(
+            "forall k in dom M1, o in M1[k].N "
+            "implies exists k2 in dom M2, o2 in M2[k2].P where k2 = o and o2 = k"
+        )
+        assert universal[1].range == Attr(Lookup(SchemaRef("M1"), Var("k")), "N")
+        assert len(conclusion) == 2
+
+    def test_missing_implies_raises(self):
+        with pytest.raises(ParseError):
+            parse_dependency("forall r in R exists s in S")

@@ -1,0 +1,238 @@
+"""Unit tests for logical/physical schemas, constraint compilation and the catalog."""
+
+import pytest
+
+from repro.errors import ConstraintError, SchemaError
+from repro.cq.query import PCQuery
+from repro.schema.catalog import Catalog, Statistics
+from repro.schema.compile import (
+    foreign_key_dependency,
+    index_nonemptiness,
+    index_skeleton,
+    inverse_dependencies,
+    key_dependency,
+    view_skeleton,
+)
+from repro.schema.constraints import Dependency
+from repro.schema.logical import LogicalSchema
+from repro.schema.physical import PhysicalSchema, PrimaryIndex, SecondaryIndex
+
+
+class TestLogicalSchema:
+    def test_add_relation_and_lookup(self):
+        schema = LogicalSchema()
+        schema.add_relation("R", ["A", "B"], key=["A"])
+        assert schema.collection("R").attributes == ("A", "B")
+        assert "R" in schema
+
+    def test_duplicate_relation_rejected(self):
+        schema = LogicalSchema()
+        schema.add_relation("R", ["A"])
+        with pytest.raises(SchemaError):
+            schema.add_relation("R", ["B"])
+
+    def test_duplicate_attribute_rejected(self):
+        schema = LogicalSchema()
+        with pytest.raises(SchemaError):
+            schema.add_relation("R", ["A", "A"])
+
+    def test_key_over_unknown_attribute_rejected(self):
+        schema = LogicalSchema()
+        schema.add_relation("R", ["A"])
+        with pytest.raises(SchemaError):
+            schema.add_key("R", ["Z"])
+
+    def test_foreign_key_validation(self):
+        schema = LogicalSchema()
+        schema.add_relation("R", ["A"])
+        schema.add_relation("S", ["A"])
+        schema.add_foreign_key("R", ["A"], "S", ["A"])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key("R", ["Z"], "S", ["A"])
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key("R", ["A"], "S", ["A", "B"])
+
+    def test_class_declaration(self):
+        schema = LogicalSchema()
+        schema.add_class("M", set_attributes=["N", "P"])
+        assert schema.collection("M").set_attributes == ("N", "P")
+
+    def test_inverse_relationship_requires_set_attributes(self):
+        schema = LogicalSchema()
+        schema.add_class("M1", set_attributes=["N"])
+        schema.add_class("M2", set_attributes=["P"])
+        schema.add_inverse_relationship("M1", "N", "M2", "P")
+        with pytest.raises(SchemaError):
+            schema.add_inverse_relationship("M1", "P", "M2", "N")
+
+    def test_unknown_collection_raises(self):
+        schema = LogicalSchema()
+        with pytest.raises(SchemaError):
+            schema.collection("missing")
+
+
+class TestPhysicalSchema:
+    def test_indexes_and_views_are_listed_by_kind(self):
+        physical = PhysicalSchema()
+        physical.add_primary_index("PI", "R", ["K"])
+        physical.add_secondary_index("SI", "R", ["N"])
+        view = PCQuery.parse("select struct(A: r.A) from R r")
+        physical.add_materialized_view("V", view)
+        physical.add_access_support_relation("ASR", view)
+        assert {index.name for index in physical.indexes()} == {"PI", "SI"}
+        assert [v.name for v in physical.views()] == ["V"]
+        assert [a.name for a in physical.access_support_relations()] == ["ASR"]
+
+    def test_duplicate_structure_rejected(self):
+        physical = PhysicalSchema()
+        physical.add_primary_index("PI", "R", ["K"])
+        with pytest.raises(SchemaError):
+            physical.add_secondary_index("PI", "R", ["N"])
+
+    def test_empty_index_key_rejected(self):
+        with pytest.raises(SchemaError):
+            PrimaryIndex("PI", "R", ())
+
+    def test_view_attributes_come_from_definition(self):
+        physical = PhysicalSchema()
+        view = physical.add_materialized_view(
+            "V", PCQuery.parse("select struct(K: r.K, B: r.B) from R r")
+        )
+        assert view.attributes == ("K", "B")
+
+
+class TestDependency:
+    def test_key_is_egd(self):
+        dependency = key_dependency("R", ["K"])
+        assert dependency.is_egd and not dependency.is_tgd
+
+    def test_foreign_key_is_tgd(self):
+        dependency = foreign_key_dependency("R", ["A"], "S", ["A"])
+        assert dependency.is_tgd
+
+    def test_parse_round_trip(self):
+        dependency = Dependency.parse(
+            "FK", "forall r in R implies exists s in S where r.A = s.A"
+        )
+        assert dependency.validate().is_tgd
+        assert "forall r in R" in str(dependency)
+
+    def test_validation_rejects_unknown_variable(self):
+        from repro.lang.ast import Attr, Eq, Var
+
+        broken = key_dependency("R", ["K"])
+        broken = Dependency.create(
+            "BAD",
+            universal=broken.universal,
+            conclusion=(Eq(Attr(Var("r"), "A"), Attr(Var("z"), "A")),),
+        )
+        with pytest.raises(ConstraintError):
+            broken.validate()
+
+    def test_validation_rejects_empty_dependency(self):
+        with pytest.raises(ConstraintError):
+            Dependency.create("EMPTY", universal=key_dependency("R", ["K"]).universal).validate()
+
+    def test_tableau_merges_prefixes(self):
+        dependency = foreign_key_dependency("R", ["A"], "S", ["A"])
+        bindings, conditions = dependency.tableau()
+        assert [binding.var for binding in bindings] == ["r", "s"]
+        assert len(conditions) == 1
+
+    def test_collections_used(self):
+        dependency = foreign_key_dependency("R", ["A"], "S", ["A"])
+        assert dependency.collections_used() == {"R", "S"}
+
+    def test_rename_variables(self):
+        dependency = key_dependency("R", ["K"]).rename_variables({"r": "x"})
+        assert dependency.universal[0].var == "x"
+
+    def test_inverse_dependencies_shapes(self):
+        forward, backward = inverse_dependencies("M1", "N", "M2", "P")
+        assert forward.is_tgd and backward.is_tgd
+        assert forward.collections_used() == {"M1", "M2"}
+
+
+class TestCompilation:
+    def test_index_skeleton_direction(self):
+        skeleton = index_skeleton(PrimaryIndex("PI", "R", ("K",)))
+        # forward: universal over the relation, existential over the index.
+        assert skeleton.forward.universal[0].range.name == "R"
+        assert skeleton.physical_collections() == {"PI"}
+
+    def test_composite_index_uses_key_struct(self):
+        skeleton = index_skeleton(PrimaryIndex("I", "R", ("A", "B", "C")))
+        conclusion_text = " and ".join(str(c) for c in skeleton.forward.conclusion)
+        assert "k.A" in conclusion_text and "k.C" in conclusion_text
+
+    def test_secondary_index_nonemptiness(self):
+        extra = index_nonemptiness(SecondaryIndex("SI", "R", ("N",)))
+        assert extra.is_tgd and not extra.premise
+
+    def test_view_skeleton_pair(self, star_catalog):
+        view = star_catalog.physical.structure("V11")
+        skeleton = view_skeleton(view)
+        assert skeleton.forward.existential[0].range.name == "V11"
+        assert skeleton.backward.universal[0].range.name == "V11"
+        assert len(skeleton.forward.conclusion) == 3
+
+    def test_view_skeleton_avoids_variable_capture(self):
+        definition = PCQuery.parse("select struct(A: v.A) from R v")
+        skeleton = view_skeleton(type("View", (), {"name": "V", "definition": definition})())
+        assert skeleton.forward.existential[0].var != "v"
+
+
+class TestCatalog:
+    def test_constraint_counts_match_paper_accounting(self):
+        # EC2 accounting: 2 constraints per view + 1 per key.
+        catalog = Catalog()
+        catalog.add_relation("R1", ["K", "A1", "A2"], key=["K"])
+        catalog.add_key("R1", ["K"])
+        catalog.add_relation("S11", ["A", "B"])
+        catalog.add_relation("S12", ["A", "B"])
+        catalog.add_materialized_view(
+            "V11",
+            PCQuery.parse(
+                "select struct(K: r.K, B1: s1.B, B2: s2.B) from R1 r, S11 s1, S12 s2 "
+                "where r.A1 = s1.A and r.A2 = s2.A"
+            ),
+        )
+        assert len(catalog.constraints()) == 3
+        assert len(catalog.skeletons()) == 1
+
+    def test_secondary_index_counts_three_constraints(self):
+        catalog = Catalog()
+        catalog.add_relation("R", ["K", "N"], key=["K"])
+        catalog.add_secondary_index("SI", "R", ["N"])
+        assert len(catalog.physical_constraints()) == 3
+
+    def test_constraint_lookup_by_name(self, star_catalog):
+        assert star_catalog.constraint("KEY_R1").is_egd
+        with pytest.raises(SchemaError):
+            star_catalog.constraint("missing")
+
+    def test_custom_dependency(self, simple_catalog):
+        dependency = Dependency.parse(
+            "EXTRA", "forall r in R implies exists s in S where r.A = s.A", kind="semantic"
+        )
+        simple_catalog.add_dependency(dependency)
+        assert any(dep.name == "EXTRA" for dep in simple_catalog.constraints())
+
+    def test_physical_vs_logical_names(self, star_catalog):
+        assert star_catalog.is_physical_name("V11")
+        assert star_catalog.is_logical_name("R1")
+        assert not star_catalog.is_physical_name("R1")
+        assert "V11" in star_catalog.collection_names()
+
+    def test_index_over_unknown_relation_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(SchemaError):
+            catalog.add_primary_index("PI", "R", ["K"])
+
+    def test_statistics_defaults_and_overrides(self):
+        statistics = Statistics(default_cardinality=50)
+        assert statistics.cardinality("R") == 50
+        statistics.set_cardinality("R", 200)
+        statistics.set_distinct("R", "A", 10)
+        assert statistics.cardinality("R") == 200
+        assert statistics.selectivity("R", "A") == pytest.approx(0.1)

@@ -1,0 +1,110 @@
+"""Unit tests for OQF query fragmentation and OCS constraint stratification."""
+
+from repro.chase.stratify import (
+    assemble_plan,
+    constraints_interact,
+    decompose_query,
+    stratify_constraints,
+)
+from repro.cq.containment import is_equivalent
+from repro.cq.query import PCQuery
+from repro.schema.compile import inverse_dependencies, key_dependency
+from repro.workloads.ec1 import build_ec1
+from repro.workloads.ec2 import build_ec2
+from repro.workloads.ec3 import build_ec3
+
+
+class TestDecomposition:
+    def test_ec1_fragments_one_per_relation(self):
+        workload = build_ec1(relations=3)
+        decomposition = decompose_query(workload.query, workload.catalog.skeletons())
+        assert decomposition.fragment_count == 3
+        assert all(len(fragment.variables) == 1 for fragment in decomposition.fragments)
+
+    def test_ec2_two_stars_two_fragments_plus_leftover(self):
+        workload = build_ec2(stars=2, corners=3, views=1)
+        decomposition = decompose_query(workload.query, workload.catalog.skeletons())
+        # One fragment per star (covered by its view) plus the uncovered
+        # corners pooled into a single leftover fragment.
+        assert decomposition.fragment_count == 3
+        covered = [frag for frag in decomposition.fragments if frag.skeletons]
+        assert len(covered) == 2
+
+    def test_overlapping_views_collapse_to_one_fragment(self):
+        workload = build_ec2(stars=1, corners=3, views=2)
+        decomposition = decompose_query(workload.query, workload.catalog.skeletons())
+        covered = [frag for frag in decomposition.fragments if frag.skeletons]
+        assert len(covered) == 1
+        assert len(covered[0].skeletons) == 2
+
+    def test_cross_fragment_conditions_become_links(self):
+        workload = build_ec2(stars=2, corners=3, views=1)
+        decomposition = decompose_query(workload.query, workload.catalog.skeletons())
+        assert decomposition.cross_conditions
+        for left_frag, left_label, right_frag, right_label in decomposition.cross_conditions:
+            assert left_frag != right_frag
+            left = decomposition.fragments[left_frag].query
+            right = decomposition.fragments[right_frag].query
+            assert left.output_path(left_label) is not None
+            assert right.output_path(right_label) is not None
+
+    def test_fragment_outputs_cover_original_outputs(self):
+        workload = build_ec2(stars=2, corners=3, views=1)
+        decomposition = decompose_query(workload.query, workload.catalog.skeletons())
+        for label, _ in workload.query.output:
+            assert decomposition.fragment_of_output(label) is not None
+
+    def test_assembling_identity_fragments_recovers_query(self):
+        workload = build_ec2(stars=2, corners=2, views=1)
+        decomposition = decompose_query(workload.query, workload.catalog.skeletons())
+        assembled = assemble_plan(
+            decomposition, [fragment.query for fragment in decomposition.fragments]
+        )
+        assert is_equivalent(assembled, workload.query)
+
+
+class TestConstraintStratification:
+    def test_inverse_pair_interacts(self):
+        forward, backward = inverse_dependencies("M1", "N", "M2", "P")
+        assert constraints_interact(forward, backward)
+
+    def test_different_relationships_do_not_interact(self):
+        first, _ = inverse_dependencies("M1", "N", "M2", "P")
+        second, _ = inverse_dependencies("M2", "N", "M3", "P")
+        assert not constraints_interact(first, second)
+
+    def test_key_does_not_merge_view_strata(self):
+        workload = build_ec2(stars=1, corners=3, views=2)
+        strata = stratify_constraints(workload.catalog.constraints())
+        # One stratum per view; the key EGD is appended to both.
+        assert len(strata) == 2
+        for stratum in strata:
+            assert any(dep.is_egd for dep in stratum)
+
+    def test_ec3_one_stratum_per_relationship(self):
+        workload = build_ec3(classes=4)
+        strata = stratify_constraints(workload.catalog.constraints())
+        assert len(strata) == 3
+
+    def test_egds_can_be_stratified_structurally(self):
+        key = key_dependency("R1", ["K"])
+        strata = stratify_constraints([key], egd_in_every_stratum=False)
+        assert strata == [[key]]
+
+    def test_empty_constraint_set(self):
+        assert stratify_constraints([]) == []
+
+    def test_only_egds(self):
+        key = key_dependency("R1", ["K"])
+        strata = stratify_constraints([key])
+        assert strata == [[key]]
+
+    def test_secondary_index_nonemptiness_joins_its_skeleton(self):
+        workload = build_ec1(relations=2, secondary_indexes=1)
+        strata = stratify_constraints(workload.catalog.constraints())
+        # PI1, PI2 and SI1 each form their own stratum; SI1's non-emptiness
+        # constraint lands in SI1's stratum.
+        assert len(strata) == 3
+        si_stratum = [s for s in strata if any("SI1" in dep.name for dep in s)]
+        assert len(si_stratum) == 1
+        assert sum(1 for dep in si_stratum[0] if "SI1" in dep.name) == 3

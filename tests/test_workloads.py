@@ -1,0 +1,127 @@
+"""Tests for the EC1/EC2/EC3 workload builders and the data generators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.engine.database import Database
+from repro.engine.executor import execute
+from repro.workloads.datagen import populate_ec2, populate_ec3
+from repro.workloads.ec1 import build_ec1
+from repro.workloads.ec2 import build_ec2, constraint_count, query_size
+from repro.workloads.ec3 import build_ec3, inverse_constraint_count
+
+
+class TestEC1:
+    def test_schema_shape(self):
+        workload = build_ec1(relations=4, secondary_indexes=2)
+        assert len(workload.catalog.physical.indexes()) == 6
+        assert workload.query.size() == 4
+        assert workload.params == {"relations": 4, "secondary_indexes": 2}
+
+    def test_query_joins_consecutive_relations(self):
+        workload = build_ec1(relations=3)
+        assert len(workload.query.conditions) == 2
+
+    def test_populate_and_execute(self):
+        workload = build_ec1(relations=2)
+        database = workload.database(size=50, seed=1)
+        rows = execute(workload.query, database)
+        for row in rows:
+            assert set(row) == {"K1", "K2"}
+
+    def test_constraint_count(self):
+        workload = build_ec1(relations=3, secondary_indexes=1)
+        # 2 constraints per primary index, 3 per secondary index.
+        assert workload.constraint_count() == 3 * 2 + 3
+
+
+class TestEC2:
+    def test_schema_shape(self):
+        workload = build_ec2(stars=2, corners=3, views=2)
+        assert query_size(2, 3) == workload.query.size() == 8
+        assert constraint_count(2, 2) == workload.constraint_count() == 10
+
+    def test_too_many_views_rejected(self):
+        with pytest.raises(SchemaError):
+            build_ec2(stars=1, corners=2, views=2)
+
+    def test_views_cover_consecutive_corners(self):
+        workload = build_ec2(stars=1, corners=3, views=2)
+        view = workload.catalog.physical.structure("V12")
+        assert view.definition.collections_used() == {"R1", "S12", "S13"}
+
+    def test_populate_selectivities(self):
+        database = Database()
+        populate_ec2(database, stars=1, corners=2, size=1000, seed=3)
+        hub = database.collection("R1")
+        corner = database.collection("S11")
+        matching = sum(1 for row in hub if any(row["A1"] == s["A"] for s in corner.lookup("A", row["A1"])))
+        assert 10 <= matching <= 90  # ~4% of 1000 with random noise
+
+    def test_generated_plans_return_original_answer(self):
+        workload = build_ec2(stars=1, corners=3, views=1)
+        database = workload.database(size=300, seed=7)
+        reference = execute(workload.query, database)
+        reference_key = sorted(tuple(sorted(row.items())) for row in reference)
+        result = workload.optimizer().optimize(workload.query, "fb")
+        assert result.plan_count == 2
+        for plan in result.plans:
+            rows = execute(plan.query, database)
+            assert sorted(tuple(sorted(row.items())) for row in rows) == reference_key
+
+
+class TestEC3:
+    def test_schema_shape(self):
+        workload = build_ec3(classes=5, asrs=2)
+        assert len(workload.catalog.physical.access_support_relations()) == 2
+        assert inverse_constraint_count(5) == 8
+        assert workload.query.size() == 8
+
+    def test_too_many_asrs_rejected(self):
+        with pytest.raises(SchemaError):
+            build_ec3(classes=3, asrs=2)
+
+    def test_populate_satisfies_inverse_constraints(self):
+        database = Database()
+        populate_ec3(database, ["M1", "M2", "M3"], size=30, seed=5)
+        m1 = database.collection("M1")
+        m2 = database.collection("M2")
+        for oid, state in m1.items():
+            for referenced in state["N"]:
+                assert oid in m2.get(referenced)["P"]
+
+    def test_flipped_plan_returns_same_answer(self):
+        workload = build_ec3(classes=3)
+        database = workload.database(size=40, seed=11)
+        reference = execute(workload.query, database)
+        reference_key = sorted(tuple(sorted(row.items())) for row in reference)
+        result = workload.optimizer().optimize(workload.query, "fb")
+        assert result.plan_count == 4
+        for plan in result.plans:
+            rows = execute(plan.query, database)
+            assert sorted(tuple(sorted(row.items())) for row in rows) == reference_key
+
+    def test_asr_contents_match_navigation(self):
+        workload = build_ec3(classes=3, asrs=1)
+        database = workload.database(size=30, seed=2)
+        asr = database.collection("ASR1")
+        m3 = database.collection("M3")
+        m2 = database.collection("M2")
+        expected = set()
+        for oid, state in m3.items():
+            for mid in state["P"]:
+                for end in m2.get(mid)["P"]:
+                    expected.add((oid, end))
+        assert {(row["S"], row["T"]) for row in asr} == expected
+
+
+class TestWorkloadContainer:
+    def test_optimizer_construction(self):
+        workload = build_ec1(relations=2)
+        assert workload.optimizer(timeout=5).timeout == 5
+
+    def test_database_requires_populate(self):
+        workload = build_ec1(relations=2)
+        workload.populate = None
+        with pytest.raises(ValueError):
+            workload.database()
