@@ -1,0 +1,26 @@
+# Convenience targets for the chase & backchase reproduction.
+#
+# Everything pins PYTHONPATH=src (the package is a src-layout project and the
+# test suites import `repro` directly).  `make test` is the fast unit suite;
+# `make bench` regenerates every figure/table benchmark and refreshes
+# BENCH_PR1.json; `make tier1` is the full suite the CI driver runs.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench tier1 all
+
+# Fast unit tests only (benchmarks are marked `bench` and deselected).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not bench" tests
+
+# Benchmark suite: reproduces the paper's figures/tables and writes
+# BENCH_PR1.json with per-figure wall-clock and engine counters.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m bench benchmarks
+
+# Everything, exactly as the tier-1 verification runs it.
+tier1:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+all: tier1

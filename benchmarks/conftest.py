@@ -5,9 +5,44 @@ prints the measured rows (the same rows/series the paper reports) so the
 output can be compared against EXPERIMENTS.md.  The scales are reduced from
 the paper's so the whole suite runs in minutes on a laptop; the shapes are
 what matters.
+
+Besides the printed tables, each benchmark records a machine-readable entry
+(figure name -> wall clock + counters/rows) via :func:`record_bench`; at the
+end of the session everything recorded is merged into ``BENCH_PR1.json`` at
+the repository root, so the perf trajectory (wall clock, closure queries,
+cache hit rates) can be tracked across PRs.
+
+All tests collected from this directory are marked ``bench`` so the fast
+tier-1 suite can deselect them with ``-m "not bench"`` (see the Makefile).
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+_RECORDED = {}
+
+
+def ec2_universal_plan_and_constraint(stars=2, corners=4, views=2):
+    """Shared fixture for the search micro-benchmarks and ablations.
+
+    Builds the EC2 workload, chases it to the universal plan, and returns the
+    plan together with the first forward view constraint (the homomorphism
+    source the candidate-lookup comparisons search with).
+    """
+    from repro.chase.chase import chase
+    from repro.workloads.ec2 import build_ec2
+
+    workload = build_ec2(stars=stars, corners=corners, views=views)
+    constraints = workload.catalog.constraints()
+    universal = chase(workload.query, constraints).query
+    view_forward = next(dep for dep in constraints if dep.name.endswith("_fwd"))
+    return universal, view_forward
 
 
 def report(result):
@@ -15,3 +50,54 @@ def report(result):
     print()
     print(result.render())
     print()
+
+
+def record_bench(figure, wall_clock=None, counters=None, result=None, **extra):
+    """Record one figure's measurements for ``BENCH_PR1.json``.
+
+    Parameters
+    ----------
+    figure:
+        Key in the JSON file (e.g. ``"fig5_ec1"``).
+    wall_clock:
+        Wall-clock seconds for the whole figure, if measured.
+    counters:
+        Dict of machine-independent work counters (closure queries, cache
+        hits, ratios, ...).
+    result:
+        Optional :class:`~repro.experiments.figures.ExperimentResult`; its
+        headers and rows are embedded so the JSON is self-describing.
+    extra:
+        Any further JSON-serializable fields.
+    """
+    entry = dict(extra)
+    if wall_clock is not None:
+        entry["wall_clock_s"] = round(wall_clock, 6)
+    if counters:
+        entry["counters"] = counters
+    if result is not None:
+        entry["headers"] = list(result.headers)
+        entry["rows"] = [list(row) for row in result.rows]
+    _RECORDED[figure] = entry
+
+
+def pytest_collection_modifyitems(items):
+    bench_dir = str(Path(__file__).resolve().parent)
+    for item in items:
+        if str(item.fspath).startswith(bench_dir):
+            item.add_marker(pytest.mark.bench)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Only persist measurements from a fully passing session: a failed run's
+    # counters would overwrite the good entries the file exists to track.
+    if not _RECORDED or exitstatus != 0:
+        return
+    merged = {}
+    if BENCH_FILE.exists():
+        try:
+            merged = json.loads(BENCH_FILE.read_text())
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(_RECORDED)
+    BENCH_FILE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

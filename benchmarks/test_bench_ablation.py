@@ -1,42 +1,63 @@
 """Ablation benchmarks for the implementation techniques of Section 3.1.
 
 These do not correspond to a figure in the paper; they quantify the design
-choices DESIGN.md calls out: incremental homomorphism pruning and chase-result
-memoisation in the backchase.
+choices DESIGN.md calls out: incremental homomorphism pruning, indexed
+candidate lookup, the incremental (semi-naive) chase engine and chase-result
+memoisation in the backchase.  Every ablation pins the optimized and the
+ablated configuration to identical results before comparing costs, and the
+measured counters are recorded into ``BENCH_PR1.json``.
 """
+
+import time
+
+from conftest import ec2_universal_plan_and_constraint, record_bench
 
 from repro.chase.chase import chase
 from repro.chase.implication import ChaseCache
-from repro.cq.homomorphism import count_homomorphisms
+from repro.cq.homomorphism import SearchStats, count_homomorphisms
+from repro.workloads.ec1 import build_ec1
 from repro.workloads.ec2 import build_ec2
-
-
-def _universal_plan_and_constraint():
-    workload = build_ec2(stars=2, corners=4, views=2)
-    constraints = workload.catalog.constraints()
-    universal = chase(workload.query, constraints).query
-    view_forward = next(dep for dep in constraints if dep.name.endswith("_fwd"))
-    return universal, view_forward
+from repro.workloads.ec3 import build_ec3
 
 
 def test_homomorphism_search_with_pruning(benchmark):
     """Incremental equality pruning (the paper's technique) on a large universal plan."""
-    universal, constraint = _universal_plan_and_constraint()
+    universal, constraint = ec2_universal_plan_and_constraint()
+    stats = SearchStats()
+    count_homomorphisms(constraint.universal, constraint.premise, universal, stats=stats)
     count = benchmark(
         lambda: count_homomorphisms(constraint.universal, constraint.premise, universal)
     )
     assert count >= 1
+    record_bench(
+        "ablation_pruned_search",
+        counters={
+            "closure_queries": stats.closure_queries,
+            "candidates_tried": stats.candidates_tried,
+        },
+    )
 
 
 def test_homomorphism_search_without_pruning(benchmark):
     """The naive generate-and-test search, for comparison with the pruned version."""
-    universal, constraint = _universal_plan_and_constraint()
+    universal, constraint = ec2_universal_plan_and_constraint()
+    stats = SearchStats()
+    count_homomorphisms(
+        constraint.universal, constraint.premise, universal, stats=stats, prune_early=False
+    )
     count = benchmark(
         lambda: count_homomorphisms(
             constraint.universal, constraint.premise, universal, prune_early=False
         )
     )
     assert count >= 1
+    record_bench(
+        "ablation_naive_search",
+        counters={
+            "closure_queries": stats.closure_queries,
+            "candidates_tried": stats.candidates_tried,
+        },
+    )
 
 
 def test_chase_cache_reuse(benchmark):
@@ -57,3 +78,55 @@ def test_chase_cache_reuse(benchmark):
 
     cache = benchmark(chase_subqueries_twice)
     assert cache.hits >= cache.misses
+    record_bench(
+        "ablation_chase_cache",
+        counters={
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "miss_closure_queries": cache.counters.closure_queries,
+        },
+    )
+
+
+def test_engine_vs_seed_on_all_workload_classes(benchmark):
+    """Indexed + incremental engine vs the seed engine on EC1/EC2/EC3 chases.
+
+    The seed configuration (``incremental=False, use_index=False``) restarts
+    the closure on every step and scans every target binding per candidate;
+    the optimized engine must produce the bit-identical universal plan while
+    spending at least 5x fewer closure-equality queries on every workload
+    class (wall-clock is recorded too but only asserted loosely, since the
+    suite runs on shared hardware).
+    """
+    workloads = [
+        ("ec1[5,4]", build_ec1(5, 4)),
+        ("ec2[2,4,2]", build_ec2(2, 4, 2)),
+        ("ec3[6]", build_ec3(6, 2)),
+    ]
+    counters = {}
+    for label, workload in workloads:
+        constraints = workload.catalog.constraints()
+        start = time.perf_counter()
+        optimized = chase(workload.query, constraints)
+        optimized_clock = time.perf_counter() - start
+        start = time.perf_counter()
+        seed = chase(workload.query, constraints, incremental=False, use_index=False)
+        seed_clock = time.perf_counter() - start
+        assert optimized.query == seed.query
+        assert optimized.applied == seed.applied
+        reduction = seed.counters.closure_queries / max(1, optimized.counters.closure_queries)
+        counters[label] = {
+            "optimized_wall_clock_s": round(optimized_clock, 6),
+            "seed_wall_clock_s": round(seed_clock, 6),
+            "optimized_closure_queries": optimized.counters.closure_queries,
+            "seed_closure_queries": seed.counters.closure_queries,
+            "query_reduction": round(reduction, 2),
+            "trigger_misses": optimized.counters.trigger_misses,
+        }
+        assert reduction >= 5.0, f"{label}: only {reduction:.1f}x fewer closure queries"
+
+    workload = workloads[1][1]
+    constraints = workload.catalog.constraints()
+    result = benchmark(lambda: chase(workload.query, constraints))
+    assert result.applied >= 1
+    record_bench("ablation_engine_vs_seed", counters=counters)

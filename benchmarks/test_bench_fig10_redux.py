@@ -1,6 +1,6 @@
 """Figure 10: end-to-end time reduction (optimization + execution) on EC2."""
 
-from conftest import report
+from conftest import record_bench, report
 
 from repro.experiments.figures import figure10_time_reduction
 
@@ -13,6 +13,7 @@ def test_fig10_time_reduction(benchmark):
         iterations=1,
         rounds=1,
     )
+    record_bench("fig10_time_reduction", result=result)
     report(result)
     reduxes = [row[5] for row in result.rows]
     redux_firsts = [row[6] for row in result.rows]

@@ -1,15 +1,19 @@
 """Figure 5: feasibility of the chase (all three experimental configurations)."""
 
-from conftest import report
+import time
+
+from conftest import record_bench, report
 
 from repro.experiments.figures import figure5_ec1, figure5_ec2, figure5_ec3
 
 
 def test_fig5_ec1_chase_time(benchmark):
     """Chase time as the number of EC1 indexes grows (Figure 5, left)."""
+    start = time.perf_counter()
     result = benchmark.pedantic(
         figure5_ec1, kwargs={"settings": ((3, 2), (5, 4), (7, 6))}, iterations=1, rounds=1
     )
+    record_bench("fig5_ec1", wall_clock=time.perf_counter() - start, result=result)
     report(result)
     times = [row[3] for row in result.rows]
     assert all(time < 30 for time in times)
@@ -18,20 +22,24 @@ def test_fig5_ec1_chase_time(benchmark):
 
 def test_fig5_ec2_chase_time(benchmark):
     """Chase time as the EC2 query size grows, for two constraint counts."""
+    start = time.perf_counter()
     result = benchmark.pedantic(
         figure5_ec2,
         kwargs={"stars": 3, "corner_range": (3, 4, 5), "views_options": (2, 3)},
         iterations=1,
         rounds=1,
     )
+    record_bench("fig5_ec2", wall_clock=time.perf_counter() - start, result=result)
     report(result)
     assert len(result.rows) == 3
 
 
 def test_fig5_ec3_chase_time(benchmark):
     """Chase time as the number of EC3 classes grows (Figure 5, right)."""
+    start = time.perf_counter()
     result = benchmark.pedantic(
         figure5_ec3, kwargs={"class_counts": (2, 4, 6, 8)}, iterations=1, rounds=1
     )
+    record_bench("fig5_ec3", wall_clock=time.perf_counter() - start, result=result)
     report(result)
     assert all(row[2] < 30 for row in result.rows)

@@ -1,6 +1,8 @@
 """Figure 6: optimization time per generated plan on EC1 and EC3."""
 
-from conftest import report
+import time
+
+from conftest import record_bench, report
 
 from repro.experiments.figures import figure6_ec1, figure6_ec3
 
@@ -13,6 +15,7 @@ def test_fig6_ec1_time_per_plan(benchmark):
         iterations=1,
         rounds=1,
     )
+    record_bench("fig6_ec1", result=result)
     report(result)
     # Shape check: on the hardest setting FB is at least as slow per plan as
     # OQF, and OQF stays below one second per plan.
@@ -23,9 +26,11 @@ def test_fig6_ec1_time_per_plan(benchmark):
 
 def test_fig6_ec3_time_per_plan(benchmark):
     """On EC3, OCS's per-plan cost stays low while FB grows with the path length."""
+    start = time.perf_counter()
     result = benchmark.pedantic(
         figure6_ec3, kwargs={"class_counts": (2, 3, 4, 5), "timeout": 60}, iterations=1, rounds=1
     )
+    record_bench("fig6_ec3", wall_clock=time.perf_counter() - start, result=result)
     report(result)
     last = result.rows[-1]
     assert last[2] <= last[1] or last[1] == 0  # OCS <= FB per plan on the largest query

@@ -1,6 +1,6 @@
 """Figure 8: the effect of stratification granularity on optimization time."""
 
-from conftest import report
+from conftest import record_bench, report
 
 from repro.experiments.figures import figure8_granularity
 from repro.workloads.ec2 import build_ec2
@@ -22,6 +22,7 @@ def test_fig8_stratification_granularity(benchmark):
         iterations=1,
         rounds=1,
     )
+    record_bench("fig8_granularity", result=result)
     report(result)
     # Stratum size 1 is the baseline (normalised to 1.0); the coarsest
     # grouping is the most expensive for each workload.

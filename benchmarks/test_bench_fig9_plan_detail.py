@@ -1,6 +1,6 @@
 """Figure 9: detail of the plans generated for one EC2 instance, executed on data."""
 
-from conftest import report
+from conftest import record_bench, report
 
 from repro.experiments.figures import figure9_plan_detail
 
@@ -13,11 +13,25 @@ def test_fig9_plan_detail(benchmark):
         iterations=1,
         rounds=1,
     )
+    record_bench(
+        "fig9_plan_detail",
+        result=result,
+        counters={
+            "optimization_time_s": round(result.measurement.optimization_time, 6),
+            "original_execution_time_s": round(
+                result.measurement.original_execution_time, 6
+            ),
+        },
+    )
     report(result)
     assert len(result.rows) == 8  # the paper's table also lists 8 plans
     assert all(row[-1] for row in result.rows)  # every plan returns the original answer
     # The rows are sorted by execution time; the fastest plan uses at least
-    # one view and the slowest is the original all-corner-scans query.
+    # one view, and the original all-corner-scans query is far slower than
+    # the best view plan.  (Asserted as a wide ratio rather than "literally
+    # the last row": a GC pause or lazy hash-index build can spike any one
+    # measurement by tens of milliseconds, which reorders the tail.)
     assert result.rows[0][2] != "-"
-    assert result.rows[-1][2] == "-"
-    assert result.rows[0][1] <= result.rows[-1][1]
+    original = next((row for row in result.rows if row[2] == "-"), None)
+    assert original is not None, "the original all-corner-scans plan is missing"
+    assert original[1] >= 5 * result.rows[0][1]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.chase.implication import ChaseCache, _has_containment_mapping
 from repro.chase.plans import Plan, dedupe_isomorphic_plans
+from repro.cq.homomorphism import SearchStats
 
 
 @dataclass
@@ -41,6 +42,11 @@ class BackchaseResult:
     timed_out:
         ``True`` when the exploration hit the timeout and the plan list may
         be incomplete.
+    cache_hits / cache_misses:
+        :class:`~repro.chase.implication.ChaseCache` accounting for the run.
+    closure_queries / candidates_tried:
+        Search effort summed over the containment-mapping searches of this
+        run plus every cache-miss chase performed for it.
     """
 
     plans: list = field(default_factory=list)
@@ -48,6 +54,10 @@ class BackchaseResult:
     equivalence_checks: int = 0
     elapsed: float = 0.0
     timed_out: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    closure_queries: int = 0
+    candidates_tried: int = 0
 
     @property
     def plan_count(self):
@@ -97,6 +107,10 @@ class FullBackchase:
         start = time.perf_counter()
         deadline = start + self.timeout if self.timeout is not None else None
         state = _ExplorationState(deadline)
+        cache_hits = self.chase_cache.hits
+        cache_misses = self.chase_cache.misses
+        chase_queries = self.chase_cache.counters.closure_queries
+        chase_candidates = self.chase_cache.counters.candidates_tried
         try:
             self._explore(universal_plan, universal_plan.variable_set, state)
         except BackchaseTimeout:
@@ -111,6 +125,18 @@ class FullBackchase:
             equivalence_checks=state.equivalence_checks,
             elapsed=elapsed,
             timed_out=state.timed_out,
+            cache_hits=self.chase_cache.hits - cache_hits,
+            cache_misses=self.chase_cache.misses - cache_misses,
+            closure_queries=(
+                state.stats.closure_queries
+                + self.chase_cache.counters.closure_queries
+                - chase_queries
+            ),
+            candidates_tried=(
+                state.stats.candidates_tried
+                + self.chase_cache.counters.candidates_tried
+                - chase_candidates
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -152,7 +178,7 @@ class FullBackchase:
         # Direction 1: the subquery is contained in the original under the
         # constraints (chase the subquery, map the original into it).
         chased = self.chase_cache.chase(subquery)
-        if not _has_containment_mapping(self.original, chased):
+        if not _has_containment_mapping(self.original, chased, stats=state.stats):
             state.verdicts[key] = _NOT_EQUIVALENT
             return None
         # Direction 2: the original is contained in the subquery.  For
@@ -160,7 +186,7 @@ class FullBackchase:
         # plan is the chased original and the subquery maps into it by
         # construction of the restriction), so it is checked cheaply against
         # the universal plan itself.
-        if not _has_containment_mapping(subquery, universal_plan):
+        if not _has_containment_mapping(subquery, universal_plan, stats=state.stats):
             state.verdicts[key] = _NOT_EQUIVALENT
             return None
         state.verdicts[key] = subquery
@@ -178,6 +204,7 @@ class _ExplorationState:
         self.explored = 0
         self.equivalence_checks = 0
         self.timed_out = False
+        self.stats = SearchStats()
 
     def is_visited(self, variables):
         return frozenset(variables) in self.visited

@@ -18,7 +18,7 @@ from repro.cq.containment import outputs_match
 from repro.cq.homomorphism import find_homomorphism, find_homomorphisms
 from repro.cq.query import PCQuery
 from repro.lang.ast import Var, substitute
-from repro.chase.chase import chase
+from repro.chase.chase import ChaseCounters, chase
 
 
 class ChaseCache:
@@ -27,6 +27,14 @@ class ChaseCache:
     The backchase chases many closely related subqueries; reusing results for
     identical subqueries (reached through different removal orders) is one of
     the implementation techniques that keeps the prototype usable.
+
+    Attributes
+    ----------
+    hits / misses:
+        Cache hit/miss counts.
+    counters:
+        Aggregated :class:`~repro.chase.chase.ChaseCounters` over every
+        cache-miss chase performed through this cache.
     """
 
     def __init__(self, dependencies, **chase_kwargs):
@@ -35,6 +43,7 @@ class ChaseCache:
         self._cache = {}
         self.hits = 0
         self.misses = 0
+        self.counters = ChaseCounters()
 
     def chase(self, query):
         """Return the chased query (cached)."""
@@ -44,9 +53,10 @@ class ChaseCache:
             self.hits += 1
             return cached
         self.misses += 1
-        result = chase(query, self.dependencies, **self.chase_kwargs).query
-        self._cache[key] = result
-        return result
+        result = chase(query, self.dependencies, **self.chase_kwargs)
+        self.counters.add(result.counters)
+        self._cache[key] = result.query
+        return result.query
 
 
 def contained_under(query, other, dependencies, chase_cache=None):
@@ -70,11 +80,11 @@ def equivalent_under(query, other, dependencies, chase_cache=None):
     )
 
 
-def _has_containment_mapping(source, target):
+def _has_containment_mapping(source, target, stats=None):
     """Check for an output-preserving homomorphism from ``source`` into ``target``."""
     closure = target.congruence()
     for mapping in find_homomorphisms(
-        source.bindings, source.conditions, target, target_closure=closure
+        source.bindings, source.conditions, target, target_closure=closure, stats=stats
     ):
         if outputs_match(source, target, mapping, target_closure=closure):
             return True

@@ -50,6 +50,9 @@ class OptimizationResult:
         incomplete).
     fragment_count / stratum_count:
         Decomposition sizes for OQF / OCS (0 otherwise).
+    closure_queries / cache_hits / cache_misses:
+        Engine-effort counters summed over the run's chases and backchases
+        (benchmarks record these to track the perf trajectory across PRs).
     """
 
     original: object
@@ -63,6 +66,9 @@ class OptimizationResult:
     timed_out: bool = False
     fragment_count: int = 0
     stratum_count: int = 0
+    closure_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def plan_count(self):
@@ -191,6 +197,10 @@ class CBOptimizer:
             subqueries_explored=backchase_result.subqueries_explored,
             equivalence_checks=backchase_result.equivalence_checks,
             timed_out=backchase_result.timed_out,
+            closure_queries=chase_result.counters.closure_queries
+            + backchase_result.closure_queries,
+            cache_hits=backchase_result.cache_hits,
+            cache_misses=backchase_result.cache_misses,
         )
 
     # ------------------------------------------------------------------ #
@@ -207,6 +217,9 @@ class CBOptimizer:
         backchase_time = 0.0
         explored = 0
         checks = 0
+        closure_queries = 0
+        cache_hits = 0
+        cache_misses = 0
         timed_out = False
         fragment_plan_sets = []
         deadline = (start + timeout) if timeout is not None else None
@@ -218,6 +231,7 @@ class CBOptimizer:
             remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
             chase_result = chase(fragment.query, fragment_constraints)
             chase_time += chase_result.elapsed
+            closure_queries += chase_result.counters.closure_queries
             backchaser = FullBackchase(
                 fragment.query, fragment_constraints, timeout=remaining, strategy_label="oqf"
             )
@@ -225,6 +239,9 @@ class CBOptimizer:
             backchase_time += fragment_result.elapsed
             explored += fragment_result.subqueries_explored
             checks += fragment_result.equivalence_checks
+            closure_queries += fragment_result.closure_queries
+            cache_hits += fragment_result.cache_hits
+            cache_misses += fragment_result.cache_misses
             timed_out = timed_out or fragment_result.timed_out
             fragment_plan_sets.append([plan.query for plan in fragment_result.plans])
 
@@ -245,6 +262,9 @@ class CBOptimizer:
             equivalence_checks=checks,
             timed_out=timed_out,
             fragment_count=decomposition.fragment_count,
+            closure_queries=closure_queries,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     def _extra_constraints_for(self, skeleton):
@@ -266,6 +286,9 @@ class CBOptimizer:
         chase_time = 0.0
         explored = 0
         checks = 0
+        closure_queries = 0
+        cache_hits = 0
+        cache_misses = 0
         timed_out = False
         current = [query]
         for stratum in strata:
@@ -274,12 +297,16 @@ class CBOptimizer:
                 remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
                 chase_result = chase(stage_query, stratum)
                 chase_time += chase_result.elapsed
+                closure_queries += chase_result.counters.closure_queries
                 backchaser = FullBackchase(
                     stage_query, stratum, timeout=remaining, strategy_label="ocs"
                 )
                 stage_result = backchaser.run(chase_result.query)
                 explored += stage_result.subqueries_explored
                 checks += stage_result.equivalence_checks
+                closure_queries += stage_result.closure_queries
+                cache_hits += stage_result.cache_hits
+                cache_misses += stage_result.cache_misses
                 timed_out = timed_out or stage_result.timed_out
                 next_stage.extend(plan.query for plan in stage_result.plans)
             current = _dedupe_queries(next_stage) if next_stage else current
@@ -296,6 +323,9 @@ class CBOptimizer:
             equivalence_checks=checks,
             timed_out=timed_out,
             stratum_count=len(strata),
+            closure_queries=closure_queries,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
 

@@ -10,6 +10,19 @@ Terms are path expressions (:mod:`repro.lang.ast`).  Constants, variables and
 schema references are leaves; ``Attr``, ``Lookup`` and ``Dom`` are function
 applications whose congruence is propagated: if ``r`` and ``r'`` are equal
 then ``r.K`` and ``r'.K`` are equal as well (once both terms are known).
+
+Beyond the decision procedure itself, the closure maintains the bookkeeping
+the indexed hot paths of the engine rely on:
+
+* per-class member lists, so :meth:`representative`, :meth:`equivalent_terms`
+  and :meth:`classes` are proportional to the class (or partition) size
+  instead of scanning every interned term;
+* a *generation* counter bumped on every union, so external candidate
+  indexes keyed by class representatives (:class:`repro.cq.homomorphism.
+  BindingIndex`, the chase's trigger index) can detect that class structure
+  changed and rebuild lazily;
+* a union event log (:meth:`unions_since`), so the incremental chase can
+  compute which equivalence classes an applied step actually disturbed.
 """
 
 from __future__ import annotations
@@ -39,6 +52,19 @@ class CongruenceClosure:
         self._uses = {}
         # signature (op key, child representative ids) -> term id
         self._signatures = {}
+        # class root id -> list of member term ids (unsorted; merged on union)
+        self._members = {}
+        # class root id -> smallest member term id (deterministic representative)
+        self._min_member = {}
+        # bumped on every union; external indexes use it to detect staleness
+        self._generation = 0
+        # (surviving root, absorbed root) of each union, in order; the
+        # incremental chase and the candidate indexes read a suffix of this
+        # log to find the classes a merge cascade disturbed
+        self._union_log = []
+        # slot owned by repro.cq.homomorphism: the shared candidate index for
+        # the query this closure was built from (None until first search)
+        self.binding_index = None
         if equalities:
             for equality in equalities:
                 self.merge(equality.left, equality.right)
@@ -60,6 +86,8 @@ class CongruenceClosure:
         self._ids[path] = term_id
         self._parent.append(term_id)
         self._rank.append(0)
+        self._members[term_id] = [term_id]
+        self._min_member[term_id] = term_id
         if child_ids:
             signature = self._signature_of(path, child_ids)
             congruent = self._signatures.get(signature)
@@ -98,6 +126,12 @@ class CongruenceClosure:
                 self._rank[left_root] += 1
             # right_root is absorbed into left_root
             self._parent[right_root] = left_root
+            self._generation += 1
+            self._union_log.append((left_root, right_root))
+            self._members[left_root].extend(self._members.pop(right_root))
+            right_min = self._min_member.pop(right_root)
+            if right_min < self._min_member[left_root]:
+                self._min_member[left_root] = right_min
             absorbed_uses = self._uses.pop(right_root, [])
             surviving_uses = self._uses.setdefault(left_root, [])
             for user in absorbed_uses:
@@ -133,6 +167,52 @@ class CongruenceClosure:
         right_id = self.add_term(right)
         return self._find(left_id) == self._find(right_id)
 
+    def root_of(self, path):
+        """Intern ``path`` and return its current class root id.
+
+        The root id is only stable until the next union (watch
+        :attr:`generation`); it is the key the candidate indexes bucket by.
+        """
+        return self._find(self.add_term(path))
+
+    @property
+    def generation(self):
+        """Monotone counter of unions; any change invalidates root-keyed indexes."""
+        return self._generation
+
+    def snapshot(self):
+        """Return an opaque staleness token (the current generation)."""
+        return self._generation
+
+    @property
+    def union_count(self):
+        """Total number of unions performed (length of the union log)."""
+        return len(self._union_log)
+
+    def unions_since(self, mark):
+        """Return the current roots of the classes merged since ``mark``.
+
+        ``mark`` is a previous :attr:`union_count` value.  Roots are
+        deduplicated and resolved to their *current* representative, so a
+        cascade of unions collapsing into one class reports a single root.
+        """
+        roots = {self._find(surviving) for surviving, _ in self._union_log[mark:]}
+        return list(roots)
+
+    def union_pairs_since(self, mark):
+        """Return the raw ``(surviving, absorbed)`` root pairs since ``mark``.
+
+        Processing the pairs in order lets an index repair its root-keyed
+        buckets with dictionary moves only: entries keyed by an absorbed root
+        belong to the surviving root, and cascaded absorptions of a surviving
+        root appear as later pairs.
+        """
+        return self._union_log[mark:]
+
+    def class_terms(self, root_id):
+        """Return the member terms of the class with root ``root_id``."""
+        return [self._terms[term_id] for term_id in self._members[self._find(root_id)]]
+
     def representative(self, path):
         """Return a canonical path representing the class of ``path``.
 
@@ -140,24 +220,24 @@ class CongruenceClosure:
         class), so callers can use it as a dictionary key.
         """
         root = self._find(self.add_term(path))
-        members = [term_id for term_id in range(len(self._terms)) if self._find(term_id) == root]
-        return self._terms[min(members)]
+        return self._terms[self._min_member[root]]
 
     def equivalent_terms(self, path):
         """Return every interned term in the same class as ``path``."""
         root = self._find(self.add_term(path))
-        return [
-            self._terms[term_id]
-            for term_id in range(len(self._terms))
-            if self._find(term_id) == root
-        ]
+        return [self._terms[term_id] for term_id in sorted(self._members[root])]
 
     def classes(self):
-        """Return the partition of interned terms into equivalence classes."""
-        by_root = {}
-        for term_id, path in enumerate(self._terms):
-            by_root.setdefault(self._find(term_id), []).append(path)
-        return list(by_root.values())
+        """Return the partition of interned terms into equivalence classes.
+
+        Classes are ordered by their smallest member term id and members are
+        listed in interning order, matching the historical full-scan output.
+        """
+        roots = sorted(self._members, key=self._min_member.__getitem__)
+        return [
+            [self._terms[term_id] for term_id in sorted(self._members[root])]
+            for root in roots
+        ]
 
     def terms(self):
         """Return every interned term."""

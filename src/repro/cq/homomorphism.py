@@ -1,4 +1,4 @@
-"""Homomorphism search with incremental equality pruning.
+"""Homomorphism search with incremental equality pruning and indexed lookup.
 
 A homomorphism from a source (a query, or the universal part of a
 dependency) into a target query is a mapping from source variables to target
@@ -14,11 +14,172 @@ quantified variables).  Following Section 3.1 of the paper, the search is a
 backtracking enumeration that prunes a partial variable mapping as soon as a
 fully-instantiated source condition fails in the target's congruence closure,
 rather than building complete mappings and checking them in one step.
+
+Candidate lookup is *indexed*: instead of scanning every target binding and
+asking the closure whether its range equals the image of the source range
+(one closure query per target binding per search node), a
+:class:`BindingIndex` buckets the target bindings by the congruence root of
+their range.  Matching a source binding is then one ``root_of`` query plus a
+dictionary probe, and only bindings that actually match are enumerated.  The
+closure is mutable (searches intern image terms, which can merge classes), so
+the index stores the closure generation it was built at and rebuilds itself
+lazily when the class structure changed — see
+:attr:`repro.cq.congruence.CongruenceClosure.generation`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.lang.ast import Var, path_variables, substitute
+
+
+@dataclass
+class SearchStats:
+    """Effort counters for one or more homomorphism searches.
+
+    Attributes
+    ----------
+    closure_queries:
+        Congruence-closure queries issued (``equal`` and ``root_of`` calls).
+    candidates_tried:
+        Target bindings considered as the image of a source binding.
+    conditions_checked:
+        Source conditions verified against the target closure.
+    """
+
+    closure_queries: int = 0
+    candidates_tried: int = 0
+    conditions_checked: int = 0
+
+    def add(self, other):
+        """Accumulate another stats object into this one."""
+        self.closure_queries += other.closure_queries
+        self.candidates_tried += other.candidates_tried
+        self.conditions_checked += other.conditions_checked
+
+
+class BindingIndex:
+    """Candidate index over a target query's bindings.
+
+    Buckets the target bindings by the congruence root of their range, so the
+    search finds every binding whose range equals a given path (modulo the
+    target's where clause) with a single ``root_of`` query instead of a scan.
+    A by-name map answers the pre-assigned-variable lookup of
+    ``_range_matches`` in O(1).
+
+    The index tracks the closure generation it was built at; any union in the
+    closure (searches intern new terms, the chase asserts new equalities)
+    invalidates the root keys and triggers a lazy rebuild, which only re-finds
+    the root of each binding range (the ranges themselves are already
+    interned, so a rebuild can never cause further unions).
+    """
+
+    def __init__(self, bindings, closure):
+        self.bindings = list(bindings)
+        self.closure = closure
+        self._by_var = {binding.var: binding for binding in self.bindings}
+        self._positions = {binding.var: i for i, binding in enumerate(self.bindings)}
+        self._by_range_root = {}
+        self._generation = None
+        self._union_mark = 0
+
+    def covers(self, bindings):
+        """Return ``True`` when the index is built over exactly ``bindings``."""
+        return len(self.bindings) == len(bindings) and all(
+            mine == theirs for mine, theirs in zip(self.bindings, bindings)
+        )
+
+    def _rebuild(self, stats=None):
+        by_root = {}
+        for binding in self.bindings:
+            if stats is not None:
+                stats.closure_queries += 1
+            root = self.closure.root_of(binding.range)
+            by_root.setdefault(root, []).append(binding)
+        self._by_range_root = by_root
+        self._generation = self.closure.generation
+        self._union_mark = self.closure.union_count
+
+    def _sync(self, stats=None):
+        """Repair the buckets after closure unions, with dictionary moves only.
+
+        Entries keyed by an absorbed root belong to the surviving root of the
+        same union; replaying the union log in order also covers cascaded
+        absorptions.  Merged buckets are re-sorted by binding position so the
+        candidate enumeration order stays identical to a scan of the target
+        bindings (the chase relies on this for deterministic step order).
+        """
+        if self._generation == self.closure.generation:
+            return
+        if self._generation is None:
+            self._rebuild(stats)
+            return
+        merged_keys = []
+        for surviving, absorbed in self.closure.union_pairs_since(self._union_mark):
+            moved = self._by_range_root.pop(absorbed, None)
+            if moved is not None:
+                self._by_range_root.setdefault(surviving, []).extend(moved)
+                merged_keys.append(surviving)
+        for key in merged_keys:
+            bucket = self._by_range_root.get(key)
+            if bucket is not None and len(bucket) > 1:
+                bucket.sort(key=lambda binding: self._positions[binding.var])
+        self._generation = self.closure.generation
+        self._union_mark = self.closure.union_count
+
+    def add_binding(self, binding, stats=None):
+        """Register a binding appended to the target (incremental chase)."""
+        self.bindings.append(binding)
+        self._by_var[binding.var] = binding
+        self._positions[binding.var] = len(self.bindings) - 1
+        if self._generation is None:
+            return
+        if stats is not None:
+            stats.closure_queries += 1
+        root = self.closure.root_of(binding.range)
+        self._sync(stats)
+        self._by_range_root.setdefault(root, []).append(binding)
+
+    def candidates(self, image_range, stats=None):
+        """Return the target bindings whose range equals ``image_range``.
+
+        The result is a snapshot: the live buckets may be repaired by a later
+        ``_sync`` while a caller is still iterating (the backtracking search
+        holds suspended generators), so the mutable list is never exposed.
+        """
+        if stats is not None:
+            stats.closure_queries += 1
+        root = self.closure.root_of(image_range)
+        self._sync(stats)
+        return tuple(self._by_range_root.get(root, ()))
+
+    def binding_named(self, name):
+        """Return the target binding of variable ``name`` (or ``None``)."""
+        return self._by_var.get(name)
+
+
+def _index_for(target, closure):
+    """Return the candidate index for ``target`` cached on ``closure``.
+
+    Each closure serves one target query (the shared per-query closure, or a
+    chase's evolving closure which manages its index explicitly), so a single
+    cached slot suffices; it is re-validated against the binding tuple in
+    case two structurally-equal queries share the closure.
+
+    The index is built eagerly and uncounted here, mirroring the shared
+    congruence closure itself: both are process-wide caches whose one-time
+    construction is amortised over every later search, so charging it to
+    whichever caller happens to arrive first would make the per-search
+    counters depend on cache warm-up order.  (The incremental chase owns its
+    index and *does* charge its build and maintenance to its own counters.)
+    """
+    index = closure.binding_index
+    if index is None or not index.covers(target.bindings):
+        index = BindingIndex(target.bindings, closure)
+        index._rebuild()
+        closure.binding_index = index
+    return index
 
 
 def find_homomorphisms(
@@ -29,6 +190,9 @@ def find_homomorphisms(
     initial=None,
     injective=False,
     prune_early=True,
+    target_index=None,
+    stats=None,
+    use_index=True,
 ):
     """Yield every homomorphism from the source into ``target``.
 
@@ -53,6 +217,15 @@ def find_homomorphisms(
         When ``True`` (the default), source conditions are checked as soon as
         all their variables are mapped; disabling this reproduces the naive
         generate-and-test search for the ablation benchmark.
+    target_index:
+        Optional pre-built :class:`BindingIndex` over the target (the
+        incremental chase maintains one across steps).
+    stats:
+        Optional :class:`SearchStats` accumulating search effort.
+    use_index:
+        When ``False``, candidate lookup scans every target binding with one
+        closure query each (the pre-index behaviour, kept for the ablation
+        benchmark).
 
     Yields
     ------
@@ -70,6 +243,28 @@ def find_homomorphisms(
     condition_schedule = _schedule_conditions(bindings, conditions, mapping)
 
     target_bindings = list(target.bindings)
+    if use_index:
+        index = target_index if target_index is not None else _index_for(target, closure)
+    else:
+        index = None
+
+    # Multiset of target variable names already used as images, so the
+    # injective check is a set probe instead of a scan over the mapping.
+    used_names = {}
+    for value in mapping.values():
+        if isinstance(value, Var):
+            used_names[value.name] = used_names.get(value.name, 0) + 1
+
+    def candidate_bindings(image_range):
+        if index is not None:
+            return index.candidates(image_range, stats)
+        matches = []
+        for target_binding in target_bindings:
+            if stats is not None:
+                stats.closure_queries += 1
+            if closure.equal(image_range, target_binding.range):
+                matches.append(target_binding)
+        return matches
 
     def extend(position):
         if position == len(bindings):
@@ -80,22 +275,40 @@ def find_homomorphisms(
             # Pre-assigned by the initial mapping: only verify the range.
             image_range = substitute(source_binding.range, mapping)
             assigned = mapping[source_binding.var]
-            if _range_matches(assigned, image_range, target_bindings, closure):
-                if _conditions_hold(condition_schedule[position], mapping, closure, prune_early):
+            if _range_matches(assigned, image_range, index, target_bindings, closure, stats):
+                if _conditions_hold(condition_schedule[position], mapping, closure, prune_early, stats):
                     yield from extend(position + 1)
             return
         image_range = substitute(source_binding.range, mapping)
-        for target_binding in target_bindings:
-            if injective and any(
-                value == Var(target_binding.var) for value in mapping.values()
-            ):
+        for target_binding in candidate_bindings(image_range):
+            if injective and used_names.get(target_binding.var):
                 continue
-            if not closure.equal(image_range, target_binding.range):
-                continue
+            if stats is not None:
+                stats.candidates_tried += 1
             mapping[source_binding.var] = Var(target_binding.var)
-            if _conditions_hold(condition_schedule[position], mapping, closure, prune_early):
+            used_names[target_binding.var] = used_names.get(target_binding.var, 0) + 1
+            if _conditions_hold(condition_schedule[position], mapping, closure, prune_early, stats):
                 yield from extend(position + 1)
             del mapping[source_binding.var]
+            remaining = used_names[target_binding.var] - 1
+            if remaining:
+                used_names[target_binding.var] = remaining
+            else:
+                del used_names[target_binding.var]
+
+    # With no source bindings the search never visits a position, so the
+    # conditions whose variables are all pre-assigned (schedule slot 0) are
+    # checked here; otherwise an invalid initial mapping would be yielded.
+    if not bindings:
+        for condition in condition_schedule.preassigned():
+            if stats is not None:
+                stats.closure_queries += 1
+                stats.conditions_checked += 1
+            image = condition.substitute(mapping)
+            if not closure.equal(image.left, image.right):
+                return
+        yield dict(mapping)
+        return
 
     # When pruning is disabled all conditions are checked at the end.
     if not prune_early:
@@ -103,6 +316,9 @@ def find_homomorphisms(
 
         def check_all(candidate):
             for condition in final_conditions:
+                if stats is not None:
+                    stats.closure_queries += 1
+                    stats.conditions_checked += 1
                 image = condition.substitute(candidate)
                 if not closure.equal(image.left, image.right):
                     return False
@@ -171,28 +387,46 @@ class _CumulativeSchedule:
             checks = list(self._slots[0]) + checks
         return checks
 
+    def preassigned(self):
+        """The conditions checkable before any binding is assigned (slot 0)."""
+        return list(self._slots[0])
 
-def _conditions_hold(conditions, mapping, closure, prune_early):
+
+def _conditions_hold(conditions, mapping, closure, prune_early, stats=None):
     if not prune_early:
         return True
     for condition in conditions:
+        if stats is not None:
+            stats.closure_queries += 1
+            stats.conditions_checked += 1
         image = condition.substitute(mapping)
         if not closure.equal(image.left, image.right):
             return False
     return True
 
 
-def _range_matches(assigned, image_range, target_bindings, closure):
+def _range_matches(assigned, image_range, index, target_bindings, closure, stats=None):
     """Check that a pre-assigned variable maps onto a binding with the right range."""
     if not isinstance(assigned, Var):
         return False
-    for target_binding in target_bindings:
-        if target_binding.var == assigned.name:
-            return closure.equal(image_range, target_binding.range)
-    return False
+    if index is not None:
+        target_binding = index.binding_named(assigned.name)
+    else:
+        target_binding = None
+        for candidate in target_bindings:
+            if candidate.var == assigned.name:
+                target_binding = candidate
+                break
+    if target_binding is None:
+        return False
+    if stats is not None:
+        stats.closure_queries += 1
+    return closure.equal(image_range, target_binding.range)
 
 
 __all__ = [
+    "BindingIndex",
+    "SearchStats",
     "count_homomorphisms",
     "find_homomorphism",
     "find_homomorphisms",

@@ -61,7 +61,14 @@ def figure5_ec1(settings=((5, 4), (7, 7), (10, 9))):
     """
     result = ExperimentResult(
         "Figure 5 (EC1): time to chase vs #indexes",
-        ["#indexes", "#constraints", "query size", "chase time (s)", "universal plan size"],
+        [
+            "#indexes",
+            "#constraints",
+            "query size",
+            "chase time (s)",
+            "universal plan size",
+            "closure queries",
+        ],
     )
     for relations, secondary in settings:
         workload = build_ec1(relations, secondary)
@@ -73,6 +80,7 @@ def figure5_ec1(settings=((5, 4), (7, 7), (10, 9))):
                 measurement.query_size,
                 measurement.chase_time,
                 measurement.universal_plan_size,
+                measurement.closure_queries,
             )
         )
     return result
@@ -103,7 +111,7 @@ def figure5_ec3(class_counts=(2, 4, 6, 8, 10)):
     """Chase time for EC3 as the number of classes grows (Figure 5, right)."""
     result = ExperimentResult(
         "Figure 5 (EC3): time to chase vs #classes",
-        ["#classes", "#constraints", "chase time (s)", "universal plan size"],
+        ["#classes", "#constraints", "chase time (s)", "universal plan size", "closure queries"],
     )
     for classes in class_counts:
         asrs = max((classes - 1) // 2, 0)
@@ -115,6 +123,7 @@ def figure5_ec3(class_counts=(2, 4, 6, 8, 10)):
                 measurement.constraint_count,
                 measurement.chase_time,
                 measurement.universal_plan_size,
+                measurement.closure_queries,
             )
         )
     return result
@@ -216,7 +225,15 @@ def figure7_ec2(points=((1, 1, 3), (1, 1, 5), (2, 1, 3), (1, 2, 3), (2, 2, 3), (
     """
     result = ExperimentResult(
         "Figure 7 (EC2): time per plan, [#views per star, #stars, star size]",
-        ["[v, s, c]", "FB tpp (s)", "OQF tpp (s)", "OCS tpp (s)", "FB timed out"],
+        [
+            "[v, s, c]",
+            "FB tpp (s)",
+            "OQF tpp (s)",
+            "OCS tpp (s)",
+            "FB timed out",
+            "FB queries",
+            "OQF queries",
+        ],
     )
     for views, stars, corners in points:
         workload = build_ec2(stars, corners, views)
@@ -231,6 +248,8 @@ def figure7_ec2(points=((1, 1, 3), (1, 1, 5), (2, 1, 3), (1, 2, 3), (2, 2, 3), (
                 measurements["oqf"].time_per_plan,
                 measurements["ocs"].time_per_plan,
                 measurements["fb"].timed_out,
+                measurements["fb"].closure_queries,
+                measurements["oqf"].closure_queries,
             )
         )
     return result

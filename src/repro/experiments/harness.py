@@ -20,25 +20,38 @@ from repro.engine.executor import execute_timed
 
 @dataclass
 class ChaseMeasurement:
-    """Outcome of one chase-feasibility measurement (Figure 5)."""
+    """Outcome of one chase-feasibility measurement (Figure 5).
+
+    Besides the paper's axes (time, sizes), the engine's work counters are
+    recorded so the benchmark suite can track the perf trajectory across PRs
+    (closure queries is the machine-independent proxy for chase effort).
+    """
 
     params: dict
     query_size: int
     constraint_count: int
     chase_time: float
     universal_plan_size: int
+    closure_queries: int = 0
+    candidates_tried: int = 0
+    deps_checked: int = 0
+    deps_skipped: int = 0
 
 
-def measure_chase(workload):
+def measure_chase(workload, **chase_kwargs):
     """Chase the workload's query with all constraints and record the cost."""
     constraints = workload.catalog.constraints()
-    result = chase(workload.query, constraints)
+    result = chase(workload.query, constraints, **chase_kwargs)
     return ChaseMeasurement(
         params=dict(workload.params),
         query_size=workload.query.size(),
         constraint_count=len(constraints),
         chase_time=result.elapsed,
         universal_plan_size=result.query.size(),
+        closure_queries=result.counters.closure_queries,
+        candidates_tried=result.counters.candidates_tried,
+        deps_checked=result.counters.deps_checked,
+        deps_skipped=result.counters.deps_skipped,
     )
 
 
@@ -54,6 +67,9 @@ class StrategyMeasurement:
     subqueries_explored: int
     timed_out: bool
     result: object = field(repr=False, default=None)
+    closure_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def measure_strategy(workload, strategy, timeout=None):
@@ -69,6 +85,9 @@ def measure_strategy(workload, strategy, timeout=None):
         subqueries_explored=result.subqueries_explored,
         timed_out=result.timed_out,
         result=result,
+        closure_queries=result.closure_queries,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
     )
 
 

@@ -187,3 +187,148 @@ class TestBackchase:
         assert result.equivalence_checks > 0
         assert result.elapsed > 0
         assert result.time_per_plan() > 0
+
+
+class TestIncrementalEngine:
+    """The semi-naive engine is a pure optimization of the restart engine."""
+
+    def _assert_identical(self, query, constraints):
+        incremental = chase(query, constraints, incremental=True)
+        restart = chase(query, constraints, incremental=False, use_index=False)
+        assert incremental.query == restart.query
+        assert [
+            (step.dependency, step.added_variables, step.added_conditions)
+            for step in incremental.steps
+        ] == [
+            (step.dependency, step.added_variables, step.added_conditions)
+            for step in restart.steps
+        ]
+        assert incremental.counters.trigger_misses == 0
+        return incremental, restart
+
+    def test_star_workload_bit_identical(self, star_catalog, star_query):
+        self._assert_identical(star_query, star_catalog.constraints())
+
+    def test_simple_foreign_key_bit_identical(self, simple_catalog):
+        query = q("select struct(A: r.A, E: r.E) from R r where r.B = 1")
+        self._assert_identical(query, simple_catalog.constraints())
+
+    def test_egd_merges_bit_identical(self):
+        query = q("select struct(K: r1.K) from R r1, R r2 where r1.K = r2.K")
+        self._assert_identical(query, [key_dependency("R", ["K"])])
+
+    def test_trigger_index_skips_dependencies(self, star_catalog, star_query):
+        result = chase(star_query, star_catalog.constraints())
+        assert result.counters.deps_checked > 0
+        assert result.counters.deps_skipped > 0
+
+    def test_incremental_engine_does_less_closure_work(self, star_catalog, star_query):
+        constraints = star_catalog.constraints()
+        incremental = chase(star_query, constraints, incremental=True)
+        restart = chase(star_query, constraints, incremental=False, use_index=False)
+        assert (
+            incremental.counters.closure_queries < restart.counters.closure_queries
+        )
+
+    def test_divergent_chase_is_stopped_incrementally(self):
+        growing = Dependency.parse(
+            "GROW", "forall s in S implies exists t in S where t.A = s.B"
+        )
+        seed = Dependency.parse("SEED", "forall r in R implies exists s in S where s.A = r.A")
+        query = q("select struct(A: r.A) from R r")
+        with pytest.raises(ChaseError):
+            chase(query, [seed, growing], max_rounds=5, max_size=30, incremental=True)
+
+
+class TestChaseCounters:
+    def test_counters_are_deterministic(self, star_catalog, star_query):
+        constraints = star_catalog.constraints()
+        first = chase(star_query, constraints).counters
+        second = chase(star_query, constraints).counters
+        assert first == second
+
+    def test_counters_are_populated(self, star_catalog, star_query):
+        counters = chase(star_query, star_catalog.constraints()).counters
+        assert counters.closure_queries > 0
+        assert counters.candidates_tried > 0
+        assert counters.conditions_checked > 0
+        assert counters.deps_checked > 0
+        assert counters.trigger_misses == 0
+
+    def test_satisfied_set_needs_one_quiet_pass(self, star_catalog, star_query):
+        constraints = star_catalog.constraints()
+        universal = chase(star_query, constraints).query
+        rechase = chase(universal, constraints)
+        assert rechase.applied == 0
+        # Every dependency is checked exactly once and nothing is re-verified.
+        assert rechase.counters.deps_checked == len(constraints)
+        assert rechase.rounds == 1
+
+
+class TestChaseCacheAccounting:
+    def test_hits_and_misses(self, star_catalog, star_query):
+        from repro.chase.implication import ChaseCache
+
+        constraints = star_catalog.constraints()
+        cache = ChaseCache(constraints)
+        cache.chase(star_query)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.chase(star_query)
+        assert (cache.hits, cache.misses) == (1, 1)
+        # The aggregated counters reflect only the single cache-miss chase.
+        direct = chase(star_query, constraints).counters
+        assert cache.counters == direct
+
+    def test_renamed_duplicate_is_a_miss(self, star_catalog, star_query):
+        from repro.chase.implication import ChaseCache
+
+        cache = ChaseCache(star_catalog.constraints())
+        cache.chase(star_query)
+        renamed = star_query.rename_variables({"r": "other"})
+        cache.chase(renamed)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+
+class TestBackchaseCounters:
+    def test_backchase_counters_are_populated(self, star_catalog, star_query):
+        constraints = star_catalog.constraints()
+        universal = chase(star_query, constraints).query
+        result = FullBackchase(star_query, constraints).run(universal)
+        assert result.cache_misses > 0
+        assert result.cache_hits >= 0
+        assert result.closure_queries > 0
+        assert result.candidates_tried > 0
+
+    def test_backchase_counters_are_deterministic(self, star_catalog, star_query):
+        constraints = star_catalog.constraints()
+        universal = chase(star_query, constraints).query
+        first = FullBackchase(star_query, constraints).run(universal)
+        second = FullBackchase(star_query, constraints).run(universal)
+        fields = (
+            "subqueries_explored",
+            "equivalence_checks",
+            "cache_hits",
+            "cache_misses",
+            "closure_queries",
+            "candidates_tried",
+        )
+        assert {name: getattr(first, name) for name in fields} == {
+            name: getattr(second, name) for name in fields
+        }
+
+    def test_repeated_run_reuses_the_instance_cache(self, star_catalog, star_query):
+        constraints = star_catalog.constraints()
+        universal = chase(star_query, constraints).query
+        backchaser = FullBackchase(star_query, constraints)
+        first = backchaser.run(universal)
+        second = backchaser.run(universal)
+        # Per-run accounting: the second run hits the warm chase cache.
+        assert second.cache_misses == 0
+        assert second.cache_hits == first.cache_hits + first.cache_misses
+
+    def test_optimizer_surfaces_engine_counters(self, star_catalog, star_query):
+        from repro.chase.optimizer import CBOptimizer
+
+        result = CBOptimizer(star_catalog).optimize(star_query, strategy="fb")
+        assert result.closure_queries > 0
+        assert result.cache_misses > 0

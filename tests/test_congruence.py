@@ -121,3 +121,66 @@ class TestIntrospection:
         closure = CongruenceClosure()
         closure.add_term(Attr(Var("x"), "A"))
         assert len(closure) == 2
+
+    def test_classes_order_matches_interning_order(self):
+        closure = CongruenceClosure()
+        closure.add_term(Var("a"))
+        closure.add_term(Var("b"))
+        closure.add_term(Var("c"))
+        closure.merge(Var("b"), Var("c"))
+        classes = closure.classes()
+        assert classes == [[Var("a")], [Var("b"), Var("c")]]
+
+    def test_representative_is_smallest_interned_term(self):
+        closure = CongruenceClosure()
+        closure.add_term(Var("later"))
+        closure.merge(Var("later"), Var("web"))
+        assert closure.representative(Var("web")) == Var("later")
+
+
+class TestGenerationsAndLog:
+    def test_generation_bumps_only_on_union(self):
+        closure = CongruenceClosure()
+        before = closure.generation
+        closure.add_term(Var("x"))
+        closure.add_term(Var("y"))
+        assert closure.generation == before  # interning alone merges nothing
+        closure.merge(Var("x"), Var("y"))
+        assert closure.generation == before + 1
+        assert closure.snapshot() == closure.generation
+
+    def test_congruence_cascade_is_logged(self):
+        closure = CongruenceClosure()
+        closure.add_term(Attr(Var("x"), "A"))
+        closure.add_term(Attr(Var("y"), "A"))
+        mark = closure.union_count
+        closure.merge(Var("x"), Var("y"))
+        # The merge of x and y cascades to x.A and y.A: two unions.
+        assert closure.union_count == mark + 2
+        disturbed = closure.unions_since(mark)
+        members = {term for root in disturbed for term in closure.class_terms(root)}
+        assert {Var("x"), Var("y"), Attr(Var("x"), "A"), Attr(Var("y"), "A")} <= members
+
+    def test_root_of_is_stable_within_a_generation(self):
+        closure = CongruenceClosure()
+        closure.merge(Var("x"), Var("y"))
+        generation = closure.generation
+        assert closure.root_of(Var("x")) == closure.root_of(Var("y"))
+        assert closure.generation == generation
+
+    def test_union_pairs_since_replays_bucket_moves(self):
+        closure = CongruenceClosure()
+        roots = {var: closure.root_of(Var(var)) for var in "abc"}
+        mark = closure.union_count
+        closure.merge(Var("a"), Var("b"))
+        closure.merge(Var("b"), Var("c"))
+        pairs = closure.union_pairs_since(mark)
+        assert len(pairs) == 2
+        # Replaying the pairs maps every absorbed root to the final class.
+        buckets = {root: [var] for var, root in roots.items()}
+        for surviving, absorbed in pairs:
+            moved = buckets.pop(absorbed, None)
+            if moved:
+                buckets.setdefault(surviving, []).extend(moved)
+        assert len(buckets) == 1
+        assert sorted(next(iter(buckets.values()))) == ["a", "b", "c"]

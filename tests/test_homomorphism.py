@@ -9,13 +9,14 @@ from repro.cq.containment import (
     outputs_match,
 )
 from repro.cq.homomorphism import (
+    SearchStats,
     count_homomorphisms,
     find_homomorphism,
     find_homomorphisms,
     query_homomorphisms,
 )
 from repro.cq.query import PCQuery
-from repro.lang.ast import Var
+from repro.lang.ast import Const, Eq, Var
 
 
 def q(text):
@@ -90,6 +91,53 @@ class TestHomomorphisms:
             source.bindings, source.conditions, star_query, prune_early=False
         )
         assert pruned == naive == 1
+
+    def test_zero_bindings_checks_preassigned_conditions(self):
+        # Regression test: with every source variable pre-assigned via
+        # ``initial`` there is no binding to process, and the slot-0
+        # conditions used to be skipped entirely, yielding an invalid mapping.
+        target = q("select struct(A: r.A) from R r")
+        failing = [Eq(Var("x").attr("A"), Const(99))]
+        assert (
+            find_homomorphism([], failing, target, initial={"x": Var("r")}) is None
+        )
+        assert (
+            find_homomorphism([], failing, target, initial={"x": Var("r")}, prune_early=False)
+            is None
+        )
+        holding = [Eq(Var("x").attr("A"), Var("r").attr("A"))]
+        assert find_homomorphism([], holding, target, initial={"x": Var("r")}) == {
+            "x": Var("r")
+        }
+        assert find_homomorphism([], [], target, initial={"x": Var("r")}) == {"x": Var("r")}
+
+    def test_indexed_and_scan_lookup_agree(self, star_query):
+        # The candidate index is a pure optimization: same mappings, same order.
+        source = q(
+            "select struct(B1: s1.B, B2: s2.B) from R1 r, S11 s1, S12 s2 "
+            "where r.A1 = s1.A and r.A2 = s2.A"
+        )
+        indexed = list(
+            find_homomorphisms(source.bindings, source.conditions, star_query, use_index=True)
+        )
+        scanned = list(
+            find_homomorphisms(source.bindings, source.conditions, star_query, use_index=False)
+        )
+        assert indexed == scanned
+        assert len(indexed) >= 1
+
+    def test_search_stats_count_less_work_with_index(self, star_query):
+        source = q("select struct(B1: s.B) from R1 r, S11 s where r.A1 = s.A")
+        indexed_stats, scan_stats = SearchStats(), SearchStats()
+        count_homomorphisms(
+            source.bindings, source.conditions, star_query, stats=indexed_stats, use_index=True
+        )
+        count_homomorphisms(
+            source.bindings, source.conditions, star_query, stats=scan_stats, use_index=False
+        )
+        assert indexed_stats.closure_queries > 0
+        assert indexed_stats.closure_queries < scan_stats.closure_queries
+        assert indexed_stats.candidates_tried <= scan_stats.candidates_tried
 
     def test_equality_modulo_where_clause(self):
         # The source range is S, the target binds s over S and t with t = s;
