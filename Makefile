@@ -3,21 +3,31 @@
 # Everything pins PYTHONPATH=src (the package is a src-layout project and the
 # test suites import `repro` directly).  `make test` is the fast unit suite;
 # `make bench` regenerates every figure/table benchmark and refreshes
-# BENCH_PR1.json; `make tier1` is the full suite the CI driver runs.
+# BENCH_PR1.json / BENCH_PR2.json; `make bench-quick` runs just the
+# parallel-backchase scaling benchmark at a reduced scale; `make tier1` is
+# the full suite the CI driver runs.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench tier1 all
+.PHONY: test bench bench-quick lint tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not bench" tests
 
 # Benchmark suite: reproduces the paper's figures/tables and writes
-# BENCH_PR1.json with per-figure wall-clock and engine counters.
+# BENCH_PR1.json / BENCH_PR2.json with per-figure wall-clock and counters.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m bench benchmarks
+
+# Reduced-scale parallel-backchase scaling run (a few seconds end to end).
+bench-quick:
+	PYTHONPATH=$(PYTHONPATH) BENCH_QUICK=1 $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_parallel_backchase.py
+
+# Syntax/undefined-name lint (CI installs ruff; no-op rules beyond that).
+lint:
+	$(PYTHON) -m ruff check --select E9,F63,F7,F82 src tests benchmarks examples
 
 # Everything, exactly as the tier-1 verification runs it.
 tier1:

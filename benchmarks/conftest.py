@@ -8,9 +8,11 @@ what matters.
 
 Besides the printed tables, each benchmark records a machine-readable entry
 (figure name -> wall clock + counters/rows) via :func:`record_bench`; at the
-end of the session everything recorded is merged into ``BENCH_PR1.json`` at
-the repository root, so the perf trajectory (wall clock, closure queries,
-cache hit rates) can be tracked across PRs.
+end of the session everything recorded is merged into a ``BENCH_*.json``
+file at the repository root (``BENCH_PR1.json`` by default; the parallel
+backchase scaling benchmark writes ``BENCH_PR2.json``), so the perf
+trajectory (wall clock, closure queries, cache hit rates, speedups) can be
+tracked across PRs.
 
 All tests collected from this directory are marked ``bench`` so the fast
 tier-1 suite can deselect them with ``-m "not bench"`` (see the Makefile).
@@ -23,8 +25,10 @@ from pathlib import Path
 
 import pytest
 
-BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BENCH_FILE = "BENCH_PR1.json"
 
+#: bench file name -> {figure -> entry}
 _RECORDED = {}
 
 
@@ -52,8 +56,8 @@ def report(result):
     print()
 
 
-def record_bench(figure, wall_clock=None, counters=None, result=None, **extra):
-    """Record one figure's measurements for ``BENCH_PR1.json``.
+def record_bench(figure, wall_clock=None, counters=None, result=None, bench_file=DEFAULT_BENCH_FILE, **extra):
+    """Record one figure's measurements for a root ``BENCH_*.json`` file.
 
     Parameters
     ----------
@@ -67,6 +71,9 @@ def record_bench(figure, wall_clock=None, counters=None, result=None, **extra):
     result:
         Optional :class:`~repro.experiments.figures.ExperimentResult`; its
         headers and rows are embedded so the JSON is self-describing.
+    bench_file:
+        File name (relative to the repository root) the entry is merged
+        into; defaults to ``BENCH_PR1.json``.
     extra:
         Any further JSON-serializable fields.
     """
@@ -78,7 +85,7 @@ def record_bench(figure, wall_clock=None, counters=None, result=None, **extra):
     if result is not None:
         entry["headers"] = list(result.headers)
         entry["rows"] = [list(row) for row in result.rows]
-    _RECORDED[figure] = entry
+    _RECORDED.setdefault(bench_file, {})[figure] = entry
 
 
 def pytest_collection_modifyitems(items):
@@ -90,14 +97,16 @@ def pytest_collection_modifyitems(items):
 
 def pytest_sessionfinish(session, exitstatus):
     # Only persist measurements from a fully passing session: a failed run's
-    # counters would overwrite the good entries the file exists to track.
+    # counters would overwrite the good entries the files exist to track.
     if not _RECORDED or exitstatus != 0:
         return
-    merged = {}
-    if BENCH_FILE.exists():
-        try:
-            merged = json.loads(BENCH_FILE.read_text())
-        except (OSError, ValueError):
-            merged = {}
-    merged.update(_RECORDED)
-    BENCH_FILE.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    for bench_file, entries in _RECORDED.items():
+        path = ROOT / bench_file
+        merged = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except (OSError, ValueError):
+                merged = {}
+        merged.update(entries)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

@@ -31,6 +31,7 @@ from repro.engine.database import Database
 from repro.engine.executor import execute
 from repro.errors import (
     ChaseError,
+    ChaseTimeout,
     ConstraintError,
     ExecutionError,
     ParseError,
@@ -48,6 +49,7 @@ __all__ = [
     "CBOptimizer",
     "Catalog",
     "ChaseError",
+    "ChaseTimeout",
     "ConstraintError",
     "CostModel",
     "Database",

@@ -1,10 +1,25 @@
 """The full backchase (FB): minimal equivalent subqueries of the universal plan.
 
-The backchase is implemented top-down, exactly as described in Section 4 of
-the paper: starting from the universal plan, it repeatedly tries to remove
-one binding at a time and recursively minimises every equivalent subquery it
-reaches.  A subquery with no equivalent strict subquery is minimal and is
-emitted as a plan.
+Two engines implement the top-down exploration described in Section 4 of the
+paper:
+
+* :class:`FullBackchase` — the original recursive (depth-first) walk:
+  starting from the universal plan, repeatedly try to remove one binding at a
+  time and recursively minimise every equivalent subquery reached.  A
+  subquery with no equivalent strict subquery is minimal and is emitted as a
+  plan.
+
+* :class:`ParallelBackchase` — a frontier-based, level-wise walk of the same
+  subquery lattice driven by a pluggable executor (``serial`` / ``threads``
+  / ``processes``).  Each wave collects every untried ``variables - {var}``
+  subset across the whole frontier, evaluates the equivalence checks
+  concurrently (they are independent given a shared
+  :class:`~repro.chase.implication.ChaseCache`), merges the verdict maps,
+  :class:`~repro.cq.homomorphism.SearchStats`,
+  :class:`~repro.chase.chase.ChaseCounters` and newly chased cache entries
+  back into shared state, and then expands the next frontier.  Both engines
+  visit exactly the same lattice nodes and therefore produce identical plan
+  sets (asserted by the test suite and the scaling benchmark).
 
 Equivalence of a candidate subquery with the original query is checked with
 the chase-based containment test of :mod:`repro.chase.implication`; one of
@@ -17,12 +32,19 @@ most once.
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.errors import ChaseTimeout
+from repro.chase.chase import ChaseCounters, deadline_passed
 from repro.chase.implication import ChaseCache, _has_containment_mapping
 from repro.chase.plans import Plan, dedupe_isomorphic_plans
 from repro.cq.homomorphism import SearchStats
+
+#: The executor kinds understood by :func:`make_executor`.
+EXECUTORS = ("serial", "threads", "processes")
 
 
 @dataclass
@@ -47,6 +69,9 @@ class BackchaseResult:
     closure_queries / candidates_tried:
         Search effort summed over the containment-mapping searches of this
         run plus every cache-miss chase performed for it.
+    executor / workers / waves:
+        How the lattice was explored: the executor kind, the worker count,
+        and (for the wave engine) the number of frontier waves dispatched.
     """
 
     plans: list = field(default_factory=list)
@@ -58,6 +83,9 @@ class BackchaseResult:
     cache_misses: int = 0
     closure_queries: int = 0
     candidates_tried: int = 0
+    executor: str = "serial"
+    workers: int = 1
+    waves: int = 0
 
     @property
     def plan_count(self):
@@ -72,6 +100,40 @@ class BackchaseResult:
 
 class BackchaseTimeout(Exception):
     """Internal signal used to unwind the exploration when the timeout hits."""
+
+
+# ---------------------------------------------------------------------- #
+# the equivalence check shared by both engines
+# ---------------------------------------------------------------------- #
+def _check_equivalence(original, universal_plan, subquery, cache, stats, deadline=None):
+    """Return ``True`` when ``subquery`` is equivalent to ``original``.
+
+    Direction 1: the subquery is contained in the original under the
+    constraints (chase the subquery, map the original into it).  Direction 2:
+    the original is contained in the subquery; for subqueries of the
+    universal plan this always holds (the universal plan is the chased
+    original and the subquery maps into it by construction of the
+    restriction), so it is checked cheaply against the universal plan itself.
+
+    Raises :class:`~repro.errors.ChaseTimeout` when ``deadline`` expires
+    during the cache-miss chase.
+    """
+    chased = cache.chase(subquery, deadline=deadline)
+    if not _has_containment_mapping(original, chased, stats=stats):
+        return False
+    return _has_containment_mapping(subquery, universal_plan, stats=stats)
+
+
+def _ordered_plan_items(plans_by_key):
+    """Deterministic plan order: by subset size, then by sorted variable names.
+
+    Both engines sort their emitted plans this way before the isomorphism
+    dedupe, so the representative kept for each isomorphism class does not
+    depend on the (engine-specific) order in which the lattice was walked —
+    this is what makes the sequential and wave-parallel plan sets
+    signature-identical.
+    """
+    return sorted(plans_by_key.items(), key=lambda item: (len(item[0]), tuple(sorted(item[0]))))
 
 
 class FullBackchase:
@@ -117,7 +179,10 @@ class FullBackchase:
             state.timed_out = True
         elapsed = time.perf_counter() - start
         plans = dedupe_isomorphic_plans(
-            [Plan(query, strategy=self.strategy_label) for query in state.plans.values()]
+            [
+                Plan(query, strategy=self.strategy_label)
+                for _, query in _ordered_plan_items(state.plans)
+            ]
         )
         return BackchaseResult(
             plans=plans,
@@ -170,23 +235,18 @@ class FullBackchase:
         if deadline_passed(state.deadline):
             raise BackchaseTimeout()
         state.explored += 1
-        subquery = universal_plan.restrict_to(variables)
+        subquery = universal_plan.restrict_to(key)
         if subquery is None:
             state.verdicts[key] = _NOT_EQUIVALENT
             return None
         state.equivalence_checks += 1
-        # Direction 1: the subquery is contained in the original under the
-        # constraints (chase the subquery, map the original into it).
-        chased = self.chase_cache.chase(subquery)
-        if not _has_containment_mapping(self.original, chased, stats=state.stats):
-            state.verdicts[key] = _NOT_EQUIVALENT
-            return None
-        # Direction 2: the original is contained in the subquery.  For
-        # subqueries of the universal plan this always holds (the universal
-        # plan is the chased original and the subquery maps into it by
-        # construction of the restriction), so it is checked cheaply against
-        # the universal plan itself.
-        if not _has_containment_mapping(subquery, universal_plan, stats=state.stats):
+        try:
+            equivalent = _check_equivalence(
+                self.original, universal_plan, subquery, self.chase_cache, state.stats, state.deadline
+            )
+        except ChaseTimeout:
+            raise BackchaseTimeout()
+        if not equivalent:
             state.verdicts[key] = _NOT_EQUIVALENT
             return None
         state.verdicts[key] = subquery
@@ -216,9 +276,439 @@ class _ExplorationState:
 _NOT_EQUIVALENT = object()
 
 
-def deadline_passed(deadline):
-    """Return ``True`` when the optional deadline has expired."""
-    return deadline is not None and time.perf_counter() > deadline
+# ---------------------------------------------------------------------- #
+# wave evaluation (shared by every executor)
+# ---------------------------------------------------------------------- #
+@dataclass
+class WaveContext:
+    """Picklable description of one backchase run, shared with the workers."""
+
+    original: object
+    universal_plan: object
+    dependencies: list
+    chase_kwargs: dict = field(default_factory=dict)
 
 
-__all__ = ["BackchaseResult", "FullBackchase", "deadline_passed"]
+@dataclass
+class WaveOutcome:
+    """Mergeable result of evaluating one chunk of subquery-lattice nodes.
+
+    ``verdicts`` maps each evaluated subset to its restricted subquery when
+    it is equivalent to the original, or ``None`` otherwise.  The remaining
+    fields carry the chunk's search effort and (for detached executors) the
+    worker cache's newly chased entries so the coordinator can merge them
+    into the shared :class:`ChaseCache`.
+    """
+
+    verdicts: dict = field(default_factory=dict)
+    explored: int = 0
+    equivalence_checks: int = 0
+    stats: SearchStats = field(default_factory=SearchStats)
+    counters: ChaseCounters = field(default_factory=ChaseCounters)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    new_entries: dict = field(default_factory=dict)
+    timed_out: bool = False
+
+
+def _counters_delta(after, before):
+    return ChaseCounters(
+        closure_queries=after.closure_queries - before.closure_queries,
+        candidates_tried=after.candidates_tried - before.candidates_tried,
+        conditions_checked=after.conditions_checked - before.conditions_checked,
+        deps_checked=after.deps_checked - before.deps_checked,
+        deps_skipped=after.deps_skipped - before.deps_skipped,
+        trigger_misses=after.trigger_misses - before.trigger_misses,
+    )
+
+
+def _counters_copy(counters):
+    fresh = ChaseCounters()
+    fresh.add(counters)
+    return fresh
+
+
+def _evaluate_chunk(context, keys, deadline, cache, export_cache=False):
+    """Evaluate the equivalence checks for ``keys`` against ``context``.
+
+    Runs in the coordinating process (serial / thread executors, sharing the
+    engine's cache) or in a worker process (with a worker-local cache and
+    ``export_cache=True``).  Respects ``deadline``; a chunk that runs out of
+    budget returns the verdicts computed so far with ``timed_out=True``.
+
+    Cache accounting (hit/miss/counter deltas, new entries) is only
+    meaningful — and only computed — for detached worker caches: against a
+    cache shared by concurrent chunks the before/after deltas would include
+    the other chunks' activity.  Shared-cache engines read the accounting
+    off the cache itself instead.
+    """
+    outcome = WaveOutcome()
+    if export_cache:
+        hits_before, misses_before = cache.hits, cache.misses
+        counters_before = _counters_copy(cache.counters)
+        marker = cache.snapshot()
+    for key in keys:
+        if deadline_passed(deadline):
+            outcome.timed_out = True
+            break
+        outcome.explored += 1
+        subquery = context.universal_plan.restrict_to(key)
+        if subquery is None:
+            outcome.verdicts[key] = None
+            continue
+        outcome.equivalence_checks += 1
+        try:
+            equivalent = _check_equivalence(
+                context.original, context.universal_plan, subquery, cache, outcome.stats, deadline
+            )
+        except ChaseTimeout:
+            outcome.timed_out = True
+            break
+        outcome.verdicts[key] = subquery if equivalent else None
+    if export_cache:
+        outcome.cache_hits = cache.hits - hits_before
+        outcome.cache_misses = cache.misses - misses_before
+        outcome.counters = _counters_delta(cache.counters, counters_before)
+        outcome.new_entries = cache.export_since(marker)
+    return outcome
+
+
+def _round_robin(items, buckets):
+    """Deterministically split ``items`` into at most ``buckets`` chunks."""
+    return [items[start::buckets] for start in range(buckets) if items[start::buckets]]
+
+
+def resolve_worker_count(workers):
+    """Resolve the ``workers`` knob: ``None`` means the machine's CPU count."""
+    return max(1, workers if workers is not None else (os.cpu_count() or 1))
+
+
+# ---------------------------------------------------------------------- #
+# executors
+# ---------------------------------------------------------------------- #
+class SerialExecutor:
+    """Evaluates every wave inline; the reference executor."""
+
+    kind = "serial"
+    #: Whether chunk outcomes come from a detached (worker-local) cache and
+    #: must be merged back into the shared one.
+    detached = False
+
+    def __init__(self, workers=None):
+        self.workers = 1
+
+    def start(self, context, cache):
+        self._context = context
+        self._cache = cache
+
+    def run_wave(self, keys, deadline, seed_entries=None):
+        # seed_entries is ignored: the chunk evaluates against the shared
+        # cache, which already holds everything the coordinator merged.
+        return [_evaluate_chunk(self._context, keys, deadline, self._cache)]
+
+    def map(self, fn, payloads):
+        return [fn(payload) for payload in payloads]
+
+    def close(self):
+        pass
+
+
+class ThreadExecutor:
+    """Evaluates wave chunks on a thread pool sharing one :class:`ChaseCache`.
+
+    CPython's GIL serialises the pure-Python equivalence checks, so this
+    executor mainly exercises the wave machinery (and helps when a future
+    backend releases the GIL); dictionary reads/writes on the shared cache
+    are atomic under the GIL, the cache's own accounting is lock-protected,
+    and the per-chunk search counters are collected in chunk-local objects
+    and merged afterwards.
+    """
+
+    kind = "threads"
+    detached = False
+
+    def __init__(self, workers=None):
+        self.workers = resolve_worker_count(workers)
+        self._pool = ThreadPoolExecutor(max_workers=self.workers, thread_name_prefix="backchase")
+
+    def start(self, context, cache):
+        self._context = context
+        self._cache = cache
+
+    def run_wave(self, keys, deadline, seed_entries=None):
+        # seed_entries is ignored: every chunk shares the coordinator's cache.
+        chunks = _round_robin(keys, self.workers)
+        futures = [
+            self._pool.submit(_evaluate_chunk, self._context, chunk, deadline, self._cache)
+            for chunk in chunks
+        ]
+        return [future.result() for future in futures]
+
+    def map(self, fn, payloads):
+        return list(self._pool.map(fn, payloads))
+
+    def close(self):
+        self._pool.shutdown(wait=True)
+
+
+#: Per-worker-process state installed by :func:`_init_process_worker`.
+_PROCESS_STATE = None
+
+
+def _init_process_worker(context):
+    global _PROCESS_STATE
+    _PROCESS_STATE = (context, ChaseCache(context.dependencies, **context.chase_kwargs))
+
+
+def _process_chunk(payload):
+    keys, deadline, seed_entries = payload
+    context, cache = _PROCESS_STATE
+    if seed_entries:
+        # Entries other workers chased in earlier waves, relayed by the
+        # coordinator.  Merged before the chunk's export marker is taken, so
+        # they are not shipped back again.
+        cache.merge_exported(seed_entries)
+    return _evaluate_chunk(context, keys, deadline, cache, export_cache=True)
+
+
+class ProcessExecutor:
+    """Evaluates wave chunks on a process pool with worker-local caches.
+
+    Each worker process is initialised once per run with the (picklable)
+    :class:`WaveContext` and keeps its own :class:`ChaseCache` warm across
+    waves; newly chased entries are exported back with every chunk outcome,
+    merged into the coordinator's cache, and relayed to the other workers
+    with the next wave's payloads (so a subquery is chased at most once per
+    wave across the pool, not once per worker).
+    """
+
+    kind = "processes"
+    detached = True
+
+    def __init__(self, workers=None):
+        self.workers = resolve_worker_count(workers)
+        self._pool = None
+        self._map_pool = None
+
+    def start(self, context, cache):
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_process_worker, initargs=(context,)
+        )
+
+    def run_wave(self, keys, deadline, seed_entries=None):
+        chunks = _round_robin(keys, self.workers)
+        futures = [
+            self._pool.submit(_process_chunk, (chunk, deadline, seed_entries))
+            for chunk in chunks
+        ]
+        return [future.result() for future in futures]
+
+    def map(self, fn, payloads):
+        if self._map_pool is None:
+            self._map_pool = ProcessPoolExecutor(max_workers=self.workers)
+        return list(self._map_pool.map(fn, payloads))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._map_pool is not None:
+            self._map_pool.shutdown(wait=True)
+            self._map_pool = None
+
+
+_EXECUTOR_CLASSES = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def make_executor(executor="serial", workers=None):
+    """Build an executor by kind (``"serial"``, ``"threads"``, ``"processes"``)."""
+    try:
+        executor_class = _EXECUTOR_CLASSES[executor]
+    except KeyError:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    return executor_class(workers=workers)
+
+
+# ---------------------------------------------------------------------- #
+# the wave engine
+# ---------------------------------------------------------------------- #
+class ParallelBackchase:
+    """Frontier-based, level-wise backchase over the subquery lattice.
+
+    Explores the same lattice as :class:`FullBackchase`, but one *wave* at a
+    time: the untried ``variables - {var}`` subsets of the whole frontier are
+    evaluated concurrently by the configured executor, the verdict maps and
+    work counters are merged back into shared state, and the nodes whose
+    children are all inequivalent are emitted as minimal plans.  Produces
+    plan sets signature-identical to the sequential engine (both sort their
+    plans canonically before the isomorphism dedupe).
+
+    Parameters
+    ----------
+    original / dependencies / timeout / strategy_label:
+        As for :class:`FullBackchase`.
+    executor:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"``.
+    workers:
+        Worker count for the pooled executors (defaults to the CPU count).
+    """
+
+    def __init__(
+        self,
+        original,
+        dependencies,
+        timeout=None,
+        strategy_label="fb",
+        executor="serial",
+        workers=None,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+        self.original = original
+        self.dependencies = list(dependencies)
+        self.timeout = timeout
+        self.strategy_label = strategy_label
+        self.executor = executor
+        self.workers = workers
+        self.chase_cache = ChaseCache(self.dependencies)
+
+    def run(self, universal_plan):
+        """Enumerate the minimal equivalent subqueries of ``universal_plan``."""
+        start = time.perf_counter()
+        deadline = start + self.timeout if self.timeout is not None else None
+        hits_before = self.chase_cache.hits
+        misses_before = self.chase_cache.misses
+        chase_queries = self.chase_cache.counters.closure_queries
+        chase_candidates = self.chase_cache.counters.candidates_tried
+
+        verdicts = {}
+        plans = {}
+        explored = 0
+        equivalence_checks = 0
+        stats = SearchStats()
+        timed_out = False
+        waves = 0
+
+        top = frozenset(universal_plan.variable_set)
+        visited = {top}
+        frontier = [top]
+        pool = make_executor(self.executor, self.workers)
+        pool.start(
+            WaveContext(self.original, universal_plan, self.dependencies), self.chase_cache
+        )
+        # Cache entries already relayed to the workers (detached pools only):
+        # each wave ships the delta merged since the previous wave, so every
+        # worker benefits from every other worker's chases.
+        relayed = self.chase_cache.snapshot()
+        try:
+            while frontier and not timed_out:
+                children = {node: [node - {var} for var in sorted(node)] for node in frontier}
+                pending = []
+                queued = set()
+                for node in frontier:
+                    for child in children[node]:
+                        if child in verdicts or child in queued:
+                            continue
+                        queued.add(child)
+                        pending.append(child)
+                pending.sort(key=lambda key: tuple(sorted(key)))
+                if pending:
+                    if deadline_passed(deadline):
+                        timed_out = True
+                        break
+                    waves += 1
+                    seed_entries = None
+                    if pool.detached:
+                        seed_entries = self.chase_cache.export_since(relayed)
+                    for outcome in pool.run_wave(pending, deadline, seed_entries):
+                        for key, subquery in outcome.verdicts.items():
+                            verdicts[key] = subquery if subquery is not None else _NOT_EQUIVALENT
+                        explored += outcome.explored
+                        equivalence_checks += outcome.equivalence_checks
+                        stats.add(outcome.stats)
+                        if pool.detached:
+                            self.chase_cache.merge_exported(
+                                outcome.new_entries,
+                                hits=outcome.cache_hits,
+                                misses=outcome.cache_misses,
+                                counters=outcome.counters,
+                            )
+                        timed_out = timed_out or outcome.timed_out
+                    if pool.detached:
+                        relayed = self.chase_cache.snapshot()
+
+                next_frontier = []
+                for node in frontier:
+                    kids = children[node]
+                    if any(kid not in verdicts for kid in kids):
+                        # The wave timed out before this node's children were
+                        # all evaluated; its minimality is unknown, so it is
+                        # neither expanded nor emitted (the serial engine
+                        # abandons such nodes the same way).
+                        continue
+                    equivalent_kids = [kid for kid in kids if verdicts[kid] is not _NOT_EQUIVALENT]
+                    if equivalent_kids:
+                        for kid in equivalent_kids:
+                            if kid not in visited:
+                                visited.add(kid)
+                                next_frontier.append(kid)
+                    else:
+                        subquery = verdicts.get(node)
+                        if subquery is None or subquery is _NOT_EQUIVALENT:
+                            # Only the lattice top has no verdict of its own.
+                            subquery = universal_plan.restrict_to(node)
+                        if subquery is not None:
+                            plans[node] = subquery
+                frontier = sorted(next_frontier, key=lambda key: tuple(sorted(key)))
+        finally:
+            pool.close()
+
+        elapsed = time.perf_counter() - start
+        plan_objects = dedupe_isomorphic_plans(
+            [
+                Plan(query, strategy=self.strategy_label)
+                for _, query in _ordered_plan_items(plans)
+            ]
+        )
+        return BackchaseResult(
+            plans=plan_objects,
+            subqueries_explored=explored,
+            equivalence_checks=equivalence_checks,
+            elapsed=elapsed,
+            timed_out=timed_out,
+            cache_hits=self.chase_cache.hits - hits_before,
+            cache_misses=self.chase_cache.misses - misses_before,
+            closure_queries=(
+                stats.closure_queries
+                + self.chase_cache.counters.closure_queries
+                - chase_queries
+            ),
+            candidates_tried=(
+                stats.candidates_tried
+                + self.chase_cache.counters.candidates_tried
+                - chase_candidates
+            ),
+            executor=pool.kind,
+            workers=pool.workers,
+            waves=waves,
+        )
+
+
+__all__ = [
+    "BackchaseResult",
+    "EXECUTORS",
+    "FullBackchase",
+    "ParallelBackchase",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WaveContext",
+    "WaveOutcome",
+    "deadline_passed",
+    "make_executor",
+    "resolve_worker_count",
+]

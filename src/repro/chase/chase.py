@@ -113,6 +113,10 @@ class ChaseResult:
         Wall-clock time spent, in seconds.
     counters:
         :class:`ChaseCounters` with the work the run performed.
+    timed_out:
+        ``True`` when an optional deadline expired before the fixpoint was
+        reached; ``query`` is then the partially chased query (well-formed,
+        but not a universal plan).
     """
 
     query: PCQuery
@@ -120,6 +124,7 @@ class ChaseResult:
     rounds: int = 0
     elapsed: float = 0.0
     counters: ChaseCounters = field(default_factory=ChaseCounters)
+    timed_out: bool = False
 
     @property
     def applied(self):
@@ -268,7 +273,18 @@ def collapse_duplicate_bindings(query, closure=None, stats=None):
     return PCQuery(output, tuple(kept), tuple(conditions))
 
 
-def chase(query, dependencies, max_rounds=100, max_size=500, incremental=True, use_index=True):
+def deadline_passed(deadline):
+    """Return ``True`` when the optional deadline has expired.
+
+    Deadlines are absolute :func:`time.perf_counter` values.  On every major
+    platform ``perf_counter`` reads a system-wide monotonic clock, so a
+    deadline computed in one process remains meaningful in a worker process
+    on the same machine (the parallel backchase relies on this).
+    """
+    return deadline is not None and time.perf_counter() > deadline
+
+
+def chase(query, dependencies, max_rounds=100, max_size=500, incremental=True, use_index=True, deadline=None):
     """Chase ``query`` with ``dependencies`` to a fixpoint.
 
     Parameters
@@ -292,6 +308,11 @@ def chase(query, dependencies, max_rounds=100, max_size=500, incremental=True, u
     use_index:
         Passed through to the homomorphism search; ``False`` restores the
         per-candidate scan of all target bindings.
+    deadline:
+        Optional absolute :func:`time.perf_counter` deadline.  On expiry the
+        fixpoint loop stops and the partially chased query is returned with
+        ``timed_out=True`` (duplicate bindings are still collapsed so the
+        result is well-formed).
 
     Returns
     -------
@@ -307,25 +328,26 @@ def chase(query, dependencies, max_rounds=100, max_size=500, incremental=True, u
     counters = ChaseCounters()
     stats = SearchStats()
     if incremental:
-        final, steps, rounds = _chase_incremental(
-            query, dependencies, max_rounds, max_size, stats, counters, use_index
+        final, steps, rounds, timed_out = _chase_incremental(
+            query, dependencies, max_rounds, max_size, stats, counters, use_index, deadline
         )
     else:
-        final, steps, rounds = _chase_restart(
-            query, dependencies, max_rounds, max_size, stats, counters, use_index
+        final, steps, rounds, timed_out = _chase_restart(
+            query, dependencies, max_rounds, max_size, stats, counters, use_index, deadline
         )
     counters.closure_queries = stats.closure_queries
     counters.candidates_tried = stats.candidates_tried
     counters.conditions_checked = stats.conditions_checked
-    return ChaseResult(final, steps, rounds, time.perf_counter() - start, counters)
+    return ChaseResult(final, steps, rounds, time.perf_counter() - start, counters, timed_out)
 
 
-def _chase_restart(query, dependencies, max_rounds, max_size, stats, counters, use_index):
+def _chase_restart(query, dependencies, max_rounds, max_size, stats, counters, use_index, deadline=None):
     """The original fixpoint loop: full rescan of every dependency per round."""
     current = query
     steps = []
     rounds = 0
-    while True:
+    timed_out = False
+    while not timed_out:
         rounds += 1
         if rounds > max_rounds:
             raise ChaseError(f"chase did not terminate within {max_rounds} rounds")
@@ -334,6 +356,9 @@ def _chase_restart(query, dependencies, max_rounds, max_size, stats, counters, u
             # Re-apply the same dependency until it is satisfied before moving
             # on; each application may enable new homomorphisms.
             while True:
+                if deadline_passed(deadline):
+                    timed_out = True
+                    break
                 counters.deps_checked += 1
                 outcome = chase_step(current, dependency, stats=stats, use_index=use_index)
                 if outcome is None:
@@ -346,13 +371,15 @@ def _chase_restart(query, dependencies, max_rounds, max_size, stats, counters, u
                         f"chased query exceeded {max_size} bindings; "
                         "the dependency set is probably not terminating"
                     )
+            if timed_out:
+                break
         if not changed:
             break
     current = collapse_duplicate_bindings(current, stats=stats)
-    return current, steps, rounds
+    return current, steps, rounds, timed_out
 
 
-def _chase_incremental(query, dependencies, max_rounds, max_size, stats, counters, use_index):
+def _chase_incremental(query, dependencies, max_rounds, max_size, stats, counters, use_index, deadline=None):
     """Semi-naive fixpoint: evolving closure + trigger-indexed dirty set."""
     current = query
     closure = current.private_congruence()
@@ -375,13 +402,16 @@ def _chase_incremental(query, dependencies, max_rounds, max_size, stats, counter
     last_checked = [-1] * len(dependencies)
     steps = []
     rounds = 0
+    timed_out = False
 
-    while True:
+    while not timed_out:
         rounds += 1
         if rounds > max_rounds:
             raise ChaseError(f"chase did not terminate within {max_rounds} rounds")
         changed = False
         for position, dependency in enumerate(dependencies):
+            if timed_out:
+                break
             if position not in dirty:
                 counters.deps_skipped += 1
                 continue
@@ -392,6 +422,9 @@ def _chase_incremental(query, dependencies, max_rounds, max_size, stats, counter
             # Re-apply the same dependency until it is satisfied before moving
             # on; each application may enable new homomorphisms.
             while True:
+                if deadline_passed(deadline):
+                    timed_out = True
+                    break
                 counters.deps_checked += 1
                 outcome = chase_step(
                     current, dependency, closure=closure, index=index, stats=stats, use_index=use_index
@@ -451,7 +484,7 @@ def _chase_incremental(query, dependencies, max_rounds, max_size, stats, counter
         verify_baseline = set(pending)
 
     current = collapse_duplicate_bindings(current, closure=closure, stats=stats)
-    return current, steps, rounds
+    return current, steps, rounds, timed_out
 
 
 def _path_heads(path, var_heads):
@@ -548,5 +581,6 @@ __all__ = [
     "chase",
     "chase_step",
     "collapse_duplicate_bindings",
+    "deadline_passed",
     "universal_plan",
 ]

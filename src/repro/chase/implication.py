@@ -14,6 +14,10 @@ conclusion is checked against the result.
 
 from __future__ import annotations
 
+import threading
+from itertools import islice
+
+from repro.errors import ChaseTimeout
 from repro.cq.containment import outputs_match
 from repro.cq.homomorphism import find_homomorphism, find_homomorphisms
 from repro.cq.query import PCQuery
@@ -27,6 +31,11 @@ class ChaseCache:
     The backchase chases many closely related subqueries; reusing results for
     identical subqueries (reached through different removal orders) is one of
     the implementation techniques that keeps the prototype usable.
+
+    The cache is picklable and *mergeable*: the parallel backchase gives each
+    worker process its own cache and folds the workers' newly chased entries
+    (exported with :meth:`snapshot` / :meth:`export_since`) back into the
+    shared cache with :meth:`merge_exported` after every wave.
 
     Attributes
     ----------
@@ -44,19 +53,79 @@ class ChaseCache:
         self.hits = 0
         self.misses = 0
         self.counters = ChaseCounters()
+        self._lock = threading.Lock()
 
-    def chase(self, query):
-        """Return the chased query (cached)."""
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def chase(self, query, deadline=None):
+        """Return the chased query (cached).
+
+        ``deadline`` is an optional absolute :func:`time.perf_counter` bound
+        threaded through to :func:`repro.chase.chase.chase`; when it expires
+        mid-chase a :class:`~repro.errors.ChaseTimeout` is raised and the
+        partial result is *not* cached (a later call with a fresh budget must
+        redo the chase from scratch rather than trust a truncated fixpoint).
+
+        Thread-safe: the accounting updates are taken under a lock (the chase
+        computation itself is not, so two threads missing on the same
+        signature may both chase it — idempotent, just duplicated work).
+        """
         key = query.signature()
         cached = self._cache.get(key)
         if cached is not None:
-            self.hits += 1
+            with self._lock:
+                self.hits += 1
             return cached
-        self.misses += 1
-        result = chase(query, self.dependencies, **self.chase_kwargs)
-        self.counters.add(result.counters)
+        result = chase(query, self.dependencies, deadline=deadline, **self.chase_kwargs)
+        with self._lock:
+            self.misses += 1
+            self.counters.add(result.counters)
+        if result.timed_out:
+            raise ChaseTimeout("chase deadline expired during a cached equivalence check")
         self._cache[key] = result.query
         return result.query
+
+    # ------------------------------------------------------------------ #
+    # merging (parallel backchase support)
+    # ------------------------------------------------------------------ #
+    def __len__(self):
+        return len(self._cache)
+
+    def snapshot(self):
+        """Return an opaque marker for :meth:`export_since`.
+
+        The cache only ever appends entries (it never evicts), so the current
+        length identifies everything cached so far.
+        """
+        return len(self._cache)
+
+    def export_since(self, marker=0):
+        """Return the entries added after ``marker`` as a plain dict.
+
+        Used by worker processes to ship their cache misses back to the
+        coordinating process without re-serialising the whole cache.
+        """
+        return dict(islice(self._cache.items(), marker, None))
+
+    def merge_exported(self, entries, hits=0, misses=0, counters=None):
+        """Fold a worker's exported entries and accounting into this cache."""
+        for key, value in entries.items():
+            self._cache.setdefault(key, value)
+        self.hits += hits
+        self.misses += misses
+        if counters is not None:
+            self.counters.add(counters)
+
+    def merge(self, other):
+        """Merge another :class:`ChaseCache` (entries and accounting)."""
+        self.merge_exported(other._cache, other.hits, other.misses, other.counters)
 
 
 def contained_under(query, other, dependencies, chase_cache=None):

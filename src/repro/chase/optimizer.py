@@ -9,6 +9,14 @@
   the full backchase (``"fb"``), on-line query fragmentation (``"oqf"``) or
   off-line constraint stratification (``"ocs"``),
 * optionally rank the plans with a cost model and pick the best one.
+
+Parallelism: the ``executor`` / ``workers`` knobs select how the subquery
+lattice is explored (``"fb"`` uses the wave-parallel
+:class:`~repro.chase.backchase.ParallelBackchase`) and fan the independent
+OQF fragments and OCS stage queries of a stratum across the same kind of
+worker pool.  Timeouts are enforced as absolute deadlines threaded through
+the chase phase as well, so an optimize call never exceeds its budget by
+more than the granularity of the engines' deadline checks.
 """
 
 from __future__ import annotations
@@ -16,8 +24,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ChaseError
-from repro.chase.backchase import FullBackchase
+from repro.chase.backchase import (
+    EXECUTORS,
+    FullBackchase,
+    ParallelBackchase,
+    make_executor,
+    resolve_worker_count,
+)
 from repro.chase.chase import chase
 from repro.chase.plans import Plan, dedupe_plans
 from repro.chase.stratify import assemble_plan, decompose_query, stratify_constraints
@@ -37,12 +50,17 @@ class OptimizationResult:
         ``"fb"``, ``"oqf"`` or ``"ocs"``.
     plans:
         The generated plans (:class:`Plan` objects).  The original query is
-        always among them (possibly rewritten over the physical schema).
+        always among them (possibly rewritten over the physical schema) —
+        even on a timeout, when the fallback is the original query itself.
     universal_plan:
         The chased query (for ``"fb"``; fragment/stage universal plans are
         not retained).
     chase_time / backchase_time:
-        Wall-clock seconds spent in each phase.
+        Wall-clock seconds spent in each phase.  For OQF/OCS under a pooled
+        executor, ``chase_time`` sums the *per-stage* chase times across
+        concurrent workers and may therefore exceed the wall-clock total;
+        ``backchase_time`` (the wall-clock remainder) is clamped at zero in
+        that case.
     subqueries_explored / equivalence_checks:
         Search-effort counters summed over fragments/stages.
     timed_out:
@@ -53,12 +71,14 @@ class OptimizationResult:
     closure_queries / cache_hits / cache_misses:
         Engine-effort counters summed over the run's chases and backchases
         (benchmarks record these to track the perf trajectory across PRs).
+    executor / workers:
+        The executor kind and worker count the run was configured with.
     """
 
     original: object
     strategy: str
     plans: list = field(default_factory=list)
-    universal_plan: object = None
+    universal_plan: object | None = None
     chase_time: float = 0.0
     backchase_time: float = 0.0
     subqueries_explored: int = 0
@@ -69,6 +89,8 @@ class OptimizationResult:
     closure_queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    executor: str = "serial"
+    workers: int = 1
 
     @property
     def plan_count(self):
@@ -98,6 +120,66 @@ class OptimizationResult:
         return best
 
 
+# ---------------------------------------------------------------------- #
+# picklable per-fragment / per-stage work unit (OQF and OCS fan-out)
+# ---------------------------------------------------------------------- #
+@dataclass
+class _StageTask:
+    """One independent chase+backchase unit: an OQF fragment or an OCS stage."""
+
+    query: object
+    constraints: list
+    deadline: float | None
+    label: str
+
+
+@dataclass
+class _StageOutcome:
+    """Picklable summary of one stage's chase+backchase, merged in order."""
+
+    plan_queries: list = field(default_factory=list)
+    chase_time: float = 0.0
+    subqueries_explored: int = 0
+    equivalence_checks: int = 0
+    closure_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timed_out: bool = False
+
+
+def _run_stage_task(task):
+    """Chase a stage query and backchase its universal plan (worker-safe).
+
+    The remaining budget is recomputed *after* the chase (the chase itself is
+    deadline-bounded), so the backchase never starts with a stale budget and
+    the stage as a whole stays inside the optimizer's deadline.
+    """
+    chase_result = chase(task.query, task.constraints, deadline=task.deadline)
+    if chase_result.timed_out:
+        return _StageOutcome(
+            chase_time=chase_result.elapsed,
+            closure_queries=chase_result.counters.closure_queries,
+            timed_out=True,
+        )
+    remaining = (
+        None if task.deadline is None else max(0.0, task.deadline - time.perf_counter())
+    )
+    backchaser = FullBackchase(
+        task.query, task.constraints, timeout=remaining, strategy_label=task.label
+    )
+    result = backchaser.run(chase_result.query)
+    return _StageOutcome(
+        plan_queries=[plan.query for plan in result.plans],
+        chase_time=chase_result.elapsed,
+        subqueries_explored=result.subqueries_explored,
+        equivalence_checks=result.equivalence_checks,
+        closure_queries=chase_result.counters.closure_queries + result.closure_queries,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        timed_out=result.timed_out,
+    )
+
+
 class CBOptimizer:
     """Chase & Backchase optimizer over a catalog (or explicit constraint set).
 
@@ -110,15 +192,26 @@ class CBOptimizer:
         Optional explicit constraint list overriding the catalog's.
     timeout:
         Default per-optimization wall-clock budget in seconds (``None`` for
-        unlimited); can be overridden per call.
+        unlimited); can be overridden per call.  The budget covers the chase
+        phase as well as the backchase.
+    workers:
+        Worker count for the pooled executors (``None`` = CPU count).
+    executor:
+        ``"serial"`` (default), ``"threads"`` or ``"processes"``; drives the
+        wave-parallel backchase for ``"fb"`` and the fragment/stage fan-out
+        for ``"oqf"`` / ``"ocs"``.
     """
 
-    def __init__(self, catalog=None, constraints=None, timeout=None):
+    def __init__(self, catalog=None, constraints=None, timeout=None, workers=1, executor="serial"):
         if catalog is None and constraints is None:
             raise ValueError("CBOptimizer needs a catalog or an explicit constraint list")
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.catalog = catalog
         self._constraints = list(constraints) if constraints is not None else None
         self.timeout = timeout
+        self.workers = workers
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     # constraint access
@@ -163,10 +256,12 @@ class CBOptimizer:
         timeout = timeout if timeout is not None else self.timeout
         constraints = constraints if constraints is not None else self.constraints()
         if strategy == "fb":
-            return self._optimize_fb(query, constraints, timeout)
-        if strategy == "oqf":
-            return self._optimize_oqf(query, constraints, timeout)
-        return self._optimize_ocs(query, constraints, timeout)
+            result = self._optimize_fb(query, constraints, timeout)
+        elif strategy == "oqf":
+            result = self._optimize_oqf(query, constraints, timeout)
+        else:
+            result = self._optimize_ocs(query, constraints, timeout)
+        return self._stamp(result)
 
     def optimize_with_strata(self, query, strata, timeout=None):
         """Run the OCS pipeline with an explicitly chosen stratification.
@@ -178,19 +273,87 @@ class CBOptimizer:
         query.validate()
         timeout = timeout if timeout is not None else self.timeout
         constraints = [dependency for stratum in strata for dependency in stratum]
-        return self._optimize_ocs(query, constraints, timeout, strata=[list(s) for s in strata])
+        return self._stamp(
+            self._optimize_ocs(query, constraints, timeout, strata=[list(s) for s in strata])
+        )
+
+    # ------------------------------------------------------------------ #
+    # parallelism helpers
+    # ------------------------------------------------------------------ #
+    def _stamp(self, result):
+        """Record the run's actual parallel configuration on the result.
+
+        The ``serial`` executor always runs single-worker, whatever the
+        ``workers`` knob says.
+        """
+        result.executor = self.executor
+        result.workers = 1 if self.executor == "serial" else resolve_worker_count(self.workers)
+        return result
+
+    def _make_backchaser(self, original, constraints, timeout, label):
+        """Build the configured backchase engine for one universal plan."""
+        if self.executor != "serial":
+            return ParallelBackchase(
+                original,
+                constraints,
+                timeout=timeout,
+                strategy_label=label,
+                executor=self.executor,
+                workers=self.workers,
+            )
+        return FullBackchase(original, constraints, timeout=timeout, strategy_label=label)
+
+    def _make_stage_pool(self):
+        """Build the fragment/stage fan-out pool, or ``None`` when serial.
+
+        Callers create one pool per optimize call and reuse it across every
+        stratum/fragment wave (pool startup is not free, especially for
+        process pools), closing it in a ``finally``.
+        """
+        if self.executor == "serial":
+            return None
+        return make_executor(self.executor, self.workers)
+
+    @staticmethod
+    def _map_stage_tasks(tasks, pool=None):
+        """Run independent stage tasks, on ``pool`` when one is configured."""
+        if pool is None:
+            return [_run_stage_task(task) for task in tasks]
+        return pool.map(_run_stage_task, tasks)
+
+    @staticmethod
+    def _remaining(deadline):
+        return None if deadline is None else max(0.0, deadline - time.perf_counter())
 
     # ------------------------------------------------------------------ #
     # FB
     # ------------------------------------------------------------------ #
     def _optimize_fb(self, query, constraints, timeout, strategy_label="fb"):
-        chase_result = chase(query, constraints)
-        backchaser = FullBackchase(query, constraints, timeout=timeout, strategy_label=strategy_label)
+        start = time.perf_counter()
+        deadline = (start + timeout) if timeout is not None else None
+        chase_result = chase(query, constraints, deadline=deadline)
+        if chase_result.timed_out:
+            # The chase itself ran out of budget: the partially chased query
+            # is not a universal plan, so backchasing it could yield
+            # non-equivalent "plans".  Fall back to the original query.
+            return OptimizationResult(
+                original=query,
+                strategy=strategy_label,
+                plans=[Plan(query, strategy=strategy_label)],
+                universal_plan=None,
+                chase_time=chase_result.elapsed,
+                timed_out=True,
+                closure_queries=chase_result.counters.closure_queries,
+            )
+        backchaser = self._make_backchaser(
+            query, constraints, self._remaining(deadline), strategy_label
+        )
         backchase_result = backchaser.run(chase_result.query)
+        plans = backchase_result.plans or [Plan(query, strategy=strategy_label)]
         return OptimizationResult(
             original=query,
             strategy=strategy_label,
-            plans=backchase_result.plans,
+            plans=plans,
             universal_plan=chase_result.query,
             chase_time=chase_result.elapsed,
             backchase_time=backchase_result.elapsed,
@@ -213,8 +376,16 @@ class CBOptimizer:
             dep for dep in constraints if dep.kind == "semantic"
         ]
         decomposition = decompose_query(query, skeletons)
+        deadline = (start + timeout) if timeout is not None else None
+        tasks = []
+        for fragment in decomposition.fragments:
+            fragment_constraints = list(semantic)
+            for skeleton in fragment.skeletons:
+                fragment_constraints.extend(skeleton.constraints)
+                fragment_constraints.extend(self._extra_constraints_for(skeleton))
+            tasks.append(_StageTask(fragment.query, fragment_constraints, deadline, "oqf"))
+
         chase_time = 0.0
-        backchase_time = 0.0
         explored = 0
         checks = 0
         closure_queries = 0
@@ -222,34 +393,34 @@ class CBOptimizer:
         cache_misses = 0
         timed_out = False
         fragment_plan_sets = []
-        deadline = (start + timeout) if timeout is not None else None
-        for fragment in decomposition.fragments:
-            fragment_constraints = list(semantic)
-            for skeleton in fragment.skeletons:
-                fragment_constraints.extend(skeleton.constraints)
-                fragment_constraints.extend(self._extra_constraints_for(skeleton))
-            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
-            chase_result = chase(fragment.query, fragment_constraints)
-            chase_time += chase_result.elapsed
-            closure_queries += chase_result.counters.closure_queries
-            backchaser = FullBackchase(
-                fragment.query, fragment_constraints, timeout=remaining, strategy_label="oqf"
-            )
-            fragment_result = backchaser.run(chase_result.query)
-            backchase_time += fragment_result.elapsed
-            explored += fragment_result.subqueries_explored
-            checks += fragment_result.equivalence_checks
-            closure_queries += fragment_result.closure_queries
-            cache_hits += fragment_result.cache_hits
-            cache_misses += fragment_result.cache_misses
-            timed_out = timed_out or fragment_result.timed_out
-            fragment_plan_sets.append([plan.query for plan in fragment_result.plans])
+        pool = self._make_stage_pool()
+        try:
+            outcomes = self._map_stage_tasks(tasks, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+        for fragment, outcome in zip(decomposition.fragments, outcomes):
+            chase_time += outcome.chase_time
+            explored += outcome.subqueries_explored
+            checks += outcome.equivalence_checks
+            closure_queries += outcome.closure_queries
+            cache_hits += outcome.cache_hits
+            cache_misses += outcome.cache_misses
+            timed_out = timed_out or outcome.timed_out
+            plan_set = outcome.plan_queries
+            if not plan_set:
+                # A timed-out (or otherwise empty) fragment would erase the
+                # whole cartesian product; fall back to the fragment's own
+                # query so the assembled plans still cover the original.
+                plan_set = [fragment.query]
+                timed_out = True
+            fragment_plan_sets.append(plan_set)
 
         plans = []
         for combination in _product(fragment_plan_sets):
             assembled = assemble_plan(decomposition, list(combination))
             plans.append(Plan(assembled, strategy="oqf"))
-        plans = dedupe_plans(plans)
+        plans = dedupe_plans(plans) or [Plan(query, strategy="oqf")]
         total = time.perf_counter() - start
         return OptimizationResult(
             original=query,
@@ -257,7 +428,7 @@ class CBOptimizer:
             plans=plans,
             universal_plan=None,
             chase_time=chase_time,
-            backchase_time=total - chase_time,
+            backchase_time=max(0.0, total - chase_time),
             subqueries_explored=explored,
             equivalence_checks=checks,
             timed_out=timed_out,
@@ -291,26 +462,34 @@ class CBOptimizer:
         cache_misses = 0
         timed_out = False
         current = [query]
-        for stratum in strata:
-            next_stage = []
-            for stage_query in current:
-                remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
-                chase_result = chase(stage_query, stratum)
-                chase_time += chase_result.elapsed
-                closure_queries += chase_result.counters.closure_queries
-                backchaser = FullBackchase(
-                    stage_query, stratum, timeout=remaining, strategy_label="ocs"
-                )
-                stage_result = backchaser.run(chase_result.query)
-                explored += stage_result.subqueries_explored
-                checks += stage_result.equivalence_checks
-                closure_queries += stage_result.closure_queries
-                cache_hits += stage_result.cache_hits
-                cache_misses += stage_result.cache_misses
-                timed_out = timed_out or stage_result.timed_out
-                next_stage.extend(plan.query for plan in stage_result.plans)
-            current = _dedupe_queries(next_stage) if next_stage else current
+        pool = self._make_stage_pool()
+        try:
+            for stratum in strata:
+                tasks = [
+                    _StageTask(stage_query, list(stratum), deadline, "ocs")
+                    for stage_query in current
+                ]
+                next_stage = []
+                for stage_query, outcome in zip(current, self._map_stage_tasks(tasks, pool)):
+                    chase_time += outcome.chase_time
+                    explored += outcome.subqueries_explored
+                    checks += outcome.equivalence_checks
+                    closure_queries += outcome.closure_queries
+                    cache_hits += outcome.cache_hits
+                    cache_misses += outcome.cache_misses
+                    timed_out = timed_out or outcome.timed_out
+                    if outcome.plan_queries:
+                        next_stage.extend(outcome.plan_queries)
+                    else:
+                        # A timed-out stage keeps its input query so the
+                        # pipeline (and the final plan list) never goes empty.
+                        next_stage.append(stage_query)
+                current = _dedupe_queries(next_stage)
+        finally:
+            if pool is not None:
+                pool.close()
         plans = dedupe_plans([Plan(plan_query, strategy="ocs") for plan_query in current])
+        plans = plans or [Plan(query, strategy="ocs")]
         total = time.perf_counter() - start
         return OptimizationResult(
             original=query,
@@ -318,7 +497,7 @@ class CBOptimizer:
             plans=plans,
             universal_plan=None,
             chase_time=chase_time,
-            backchase_time=total - chase_time,
+            backchase_time=max(0.0, total - chase_time),
             subqueries_explored=explored,
             equivalence_checks=checks,
             timed_out=timed_out,

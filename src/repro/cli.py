@@ -7,7 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli plans-table
     python -m repro.cli fig9 --stars 3 --corners 2 --views 1 --size 5000
     python -m repro.cli fig10 --size 10000
-    python -m repro.cli optimize ec2 --stars 2 --corners 3 --views 1 --strategy oqf
+    python -m repro.cli parallel-scaling --executor processes --timeout 60
+    python -m repro.cli optimize ec2 --stars 2 --corners 3 --views 1 --strategy oqf --workers 4 --executor processes
 
 The ``fig*`` / ``plans-table`` commands print the same rows the corresponding
 figures and tables of the paper report; ``optimize`` runs a single optimizer
@@ -34,6 +35,10 @@ EXPERIMENTS = {
     "fig8": (figures.figure8_granularity, ("timeout",)),
     "fig9": (figures.figure9_plan_detail, ("stars", "corners", "views", "size", "timeout")),
     "fig10": (figures.figure10_time_reduction, ("size", "timeout")),
+    "parallel-scaling": (
+        figures.parallel_backchase_scaling,
+        ("stars", "corners", "views", "timeout", "workers", "executor"),
+    ),
 }
 
 
@@ -47,9 +52,11 @@ def build_parser():
 
     subparsers.add_parser("list", help="list the available experiments")
 
-    for name in EXPERIMENTS:
+    for name, (_, accepted) in EXPERIMENTS.items():
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
         _add_common_options(experiment)
+        if "workers" in accepted:
+            _add_parallel_options(experiment)
 
     optimize = subparsers.add_parser(
         "optimize", help="run one optimizer invocation on a workload and print the plans"
@@ -57,6 +64,7 @@ def build_parser():
     optimize.add_argument("workload", choices=["ec1", "ec2", "ec3"])
     optimize.add_argument("--strategy", choices=["fb", "oqf", "ocs"], default="fb")
     _add_common_options(optimize)
+    _add_parallel_options(optimize)
     optimize.add_argument("--relations", type=int, default=3, help="EC1: number of relations")
     optimize.add_argument(
         "--secondary-indexes", type=int, default=0, help="EC1: number of secondary indexes"
@@ -72,6 +80,19 @@ def _add_common_options(subparser):
     subparser.add_argument("--views", type=int, default=None, help="EC2: views per star")
     subparser.add_argument("--size", type=int, default=None, help="tuples per relation")
     subparser.add_argument("--timeout", type=float, default=None, help="backchase timeout (s)")
+
+
+def _add_parallel_options(subparser):
+    """Parallelism knobs, only on the subcommands that honour them."""
+    subparser.add_argument(
+        "--workers", type=int, default=None, help="worker count for the parallel backchase"
+    )
+    subparser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="how to fan out the backchase lattice and OQF/OCS stages",
+    )
 
 
 def _experiment_kwargs(args, accepted):
@@ -100,12 +121,17 @@ def _build_workload(args):
 
 def _run_optimize(args, out):
     workload = _build_workload(args)
-    optimizer = workload.optimizer(timeout=args.timeout)
+    executor = args.executor or "serial"
+    # An omitted --workers means "CPU count" once a pooled executor is
+    # requested, and plain single-worker serial otherwise.
+    workers = args.workers if args.workers is not None else (None if args.executor else 1)
+    optimizer = workload.optimizer(timeout=args.timeout, workers=workers, executor=executor)
     result = optimizer.optimize(workload.query, strategy=args.strategy)
     print(
         f"{args.workload.upper()} {workload.params}: {result.plan_count} plans "
         f"in {result.total_time:.3f}s with {args.strategy.upper()} "
-        f"({result.subqueries_explored} subqueries explored"
+        f"({result.subqueries_explored} subqueries explored, "
+        f"executor {result.executor} x{result.workers}"
         f"{', timed out' if result.timed_out else ''})",
         file=out,
     )

@@ -68,6 +68,17 @@ class ChaseError(ReproError):
     """
 
 
+class ChaseTimeout(ReproError):
+    """Raised when a chase required by a timeboxed search exceeds its deadline.
+
+    Only raised on paths that cannot report a partial result through a
+    ``timed_out`` flag (e.g. :meth:`repro.chase.implication.ChaseCache.chase`
+    inside a backchase equivalence check); the top-level
+    :func:`repro.chase.chase.chase` returns a :class:`ChaseResult` with
+    ``timed_out=True`` instead.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised by the execution engine when a plan cannot be evaluated.
 

@@ -22,6 +22,7 @@ from repro.chase.stratify import stratify_constraints
 from repro.experiments.harness import (
     measure_chase,
     measure_execution,
+    measure_parallel_scaling,
     measure_strategy,
 )
 from repro.experiments.reporting import render_table
@@ -311,6 +312,58 @@ def _group_strata(strata, group_size):
 
 
 # ---------------------------------------------------------------------- #
+# Parallel backchase scaling (post-paper: the PR 2 experiment)
+# ---------------------------------------------------------------------- #
+def parallel_backchase_scaling(
+    stars=2,
+    corners=4,
+    views=2,
+    worker_counts=(1, 2, 4, 8),
+    executor="processes",
+    timeout=DEFAULT_TIMEOUT,
+    workers=None,
+):
+    """Wave-parallel backchase vs. the sequential engine on one EC2 instance.
+
+    The chase runs once; the sequential :class:`FullBackchase` sets the
+    baseline, then the wave engine runs at each worker count on the same
+    universal plan.  Every row asserts the two engines' plan sets are
+    signature-identical; the speedup column tracks the wall-clock win (bounded
+    by the machine's usable cores — the ``serial`` executor and 1-worker rows
+    quantify the wave engine's own overhead).
+
+    ``workers`` (the CLI's ``--workers`` flag) overrides ``worker_counts``
+    with the single count requested.
+    """
+    if workers is not None:
+        worker_counts = (workers,)
+    workload = build_ec2(stars, corners, views)
+    measurements = measure_parallel_scaling(
+        workload, worker_counts=worker_counts, executor=executor, timeout=timeout
+    )
+    serial_time = measurements[0].serial_time if measurements else 0.0
+    result = ExperimentResult(
+        f"Parallel backchase scaling on EC2 [{stars} stars, {corners} corners/star, {views} views/star]",
+        ["workers", "executor", "backchase time (s)", "speedup vs serial", "plans", "waves", "matches serial"],
+        notes=f"sequential FullBackchase baseline: {serial_time:.3f}s",
+    )
+    for measurement in measurements:
+        result.rows.append(
+            (
+                measurement.workers,
+                measurement.executor,
+                measurement.backchase_time,
+                round(measurement.speedup, 3),
+                measurement.plan_count,
+                measurement.waves,
+                measurement.plans_match_serial,
+            )
+        )
+    result.measurements = measurements
+    return result
+
+
+# ---------------------------------------------------------------------- #
 # Figure 9: plan detail for one EC2 instance
 # ---------------------------------------------------------------------- #
 def figure9_plan_detail(stars=3, corners=2, views=1, size=5000, seed=0, timeout=DEFAULT_TIMEOUT):
@@ -417,5 +470,6 @@ __all__ = [
     "figure7_ec2",
     "figure8_granularity",
     "figure9_plan_detail",
+    "parallel_backchase_scaling",
     "plans_table_ec2",
 ]

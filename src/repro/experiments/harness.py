@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chase.backchase import FullBackchase, ParallelBackchase
 from repro.chase.chase import chase
 from repro.engine.executor import execute_timed
 
@@ -70,11 +71,13 @@ class StrategyMeasurement:
     closure_queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    executor: str = "serial"
+    workers: int = 1
 
 
-def measure_strategy(workload, strategy, timeout=None):
+def measure_strategy(workload, strategy, timeout=None, workers=1, executor="serial"):
     """Optimize the workload's query under ``strategy`` and record the cost."""
-    optimizer = workload.optimizer(timeout=timeout)
+    optimizer = workload.optimizer(timeout=timeout, workers=workers, executor=executor)
     result = optimizer.optimize(workload.query, strategy=strategy)
     return StrategyMeasurement(
         params=dict(workload.params),
@@ -88,7 +91,71 @@ def measure_strategy(workload, strategy, timeout=None):
         closure_queries=result.closure_queries,
         cache_hits=result.cache_hits,
         cache_misses=result.cache_misses,
+        executor=result.executor,
+        workers=result.workers,
     )
+
+
+@dataclass
+class ParallelBackchaseMeasurement:
+    """One point of the parallel-backchase scaling experiment.
+
+    ``speedup`` is serial wall-clock divided by this run's wall-clock on the
+    *same* universal plan; ``plans_match_serial`` asserts the engines'
+    signature-identical plan sets (the correctness half of the experiment).
+    """
+
+    params: dict
+    executor: str
+    workers: int
+    backchase_time: float
+    serial_time: float
+    speedup: float
+    plan_count: int
+    plans_match_serial: bool
+    waves: int = 0
+    timed_out: bool = False
+    serial_timed_out: bool = False
+
+
+def measure_parallel_scaling(workload, worker_counts=(1, 2, 4), executor="threads", timeout=None):
+    """Backchase one universal plan serially, then at each worker count.
+
+    The chase runs once; the serial :class:`FullBackchase` provides both the
+    baseline wall-clock and the reference plan signatures that every
+    parallel run is compared against.
+    """
+    constraints = workload.catalog.constraints()
+    universal = chase(workload.query, constraints).query
+    serial = FullBackchase(workload.query, constraints, timeout=timeout).run(universal)
+    serial_signatures = {plan.signature() for plan in serial.plans}
+    measurements = []
+    for workers in worker_counts:
+        engine = ParallelBackchase(
+            workload.query,
+            constraints,
+            timeout=timeout,
+            executor=executor,
+            workers=workers,
+        )
+        result = engine.run(universal)
+        signatures = {plan.signature() for plan in result.plans}
+        measurements.append(
+            ParallelBackchaseMeasurement(
+                params=dict(workload.params),
+                executor=executor,
+                workers=result.workers,
+                backchase_time=result.elapsed,
+                serial_time=serial.elapsed,
+                speedup=serial.elapsed / result.elapsed if result.elapsed > 0 else float("inf"),
+                plan_count=result.plan_count,
+                plans_match_serial=signatures == serial_signatures,
+                waves=result.waves,
+                timed_out=result.timed_out,
+                serial_timed_out=serial.timed_out,
+            )
+        )
+    return measurements
 
 
 @dataclass
@@ -168,8 +235,10 @@ def _same_bag(left, right):
 __all__ = [
     "ChaseMeasurement",
     "ExecutionMeasurement",
+    "ParallelBackchaseMeasurement",
     "StrategyMeasurement",
     "measure_chase",
     "measure_execution",
+    "measure_parallel_scaling",
     "measure_strategy",
 ]

@@ -197,7 +197,7 @@ class Skeleton:
     name: str
     forward: Dependency
     backward: Dependency
-    structure: object = None
+    structure: object | None = None
 
     @property
     def constraints(self):

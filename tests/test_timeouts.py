@@ -1,0 +1,118 @@
+"""End-to-end timeout semantics: budgets are honoured and plans never vanish.
+
+The documented invariants (see ``OptimizationResult``):
+
+* with a finite ``timeout``, fb/oqf/ocs optimize calls finish within the
+  budget plus a small epsilon — the chase phase included, since the deadline
+  is threaded into :func:`repro.chase.chase.chase` as well;
+* a timed-out run still returns at least one plan (falling back to the
+  original query / fragment queries), flagged with ``timed_out=True``.
+"""
+
+import time
+
+import pytest
+
+from repro.chase.backchase import FullBackchase, ParallelBackchase
+from repro.chase.chase import chase, deadline_passed
+from repro.chase.implication import ChaseCache
+from repro.errors import ChaseTimeout
+from repro.workloads.ec2 import build_ec2
+
+#: Grace allowed on top of the budget: deadline checks sit between dependency
+#: checks / lattice nodes, and the engines still collapse bindings and dedupe
+#: the partial plan list after expiry.
+EPSILON = 1.0
+
+
+class TestOptimizerBudgets:
+    @pytest.mark.parametrize("strategy", ["fb", "oqf", "ocs"])
+    def test_tiny_budget_partial_plans_within_epsilon(self, strategy):
+        workload = build_ec2(2, 4, 2)  # ~5s un-timeboxed; must cut off at 50ms
+        optimizer = workload.optimizer(timeout=0.05)
+        start = time.perf_counter()
+        result = optimizer.optimize(workload.query, strategy=strategy)
+        elapsed = time.perf_counter() - start
+        assert result.timed_out
+        assert result.plan_count >= 1
+        assert elapsed <= 0.05 + EPSILON
+
+    @pytest.mark.parametrize("strategy", ["fb", "oqf", "ocs"])
+    def test_zero_budget_falls_back_to_original(self, strategy):
+        workload = build_ec2(1, 3, 1)
+        result = workload.optimizer(timeout=0.0).optimize(workload.query, strategy=strategy)
+        assert result.timed_out
+        assert result.plan_count >= 1
+        # The fallback covers the original query: some plan scans exactly the
+        # original's collections (for oqf, reassembled from the fragments).
+        scans = {frozenset(plan.collections_used()) for plan in result.plans}
+        assert frozenset(workload.query.collections_used()) in scans
+
+    def test_parallel_backchase_honours_budget(self):
+        workload = build_ec2(2, 4, 2)
+        constraints = workload.catalog.constraints()
+        universal = chase(workload.query, constraints).query
+        for executor in ("serial", "threads", "processes"):
+            engine = ParallelBackchase(
+                workload.query, constraints, timeout=0.05, executor=executor, workers=2
+            )
+            start = time.perf_counter()
+            result = engine.run(universal)
+            elapsed = time.perf_counter() - start
+            assert result.timed_out
+            # Process pool startup is not part of the search but is billed
+            # against wall-clock; allow it the same grace.
+            assert elapsed <= 0.05 + 2 * EPSILON
+
+    def test_untimed_runs_do_not_time_out(self):
+        workload = build_ec2(1, 3, 1)
+        result = workload.optimizer().optimize(workload.query, strategy="fb")
+        assert not result.timed_out
+
+
+class TestChaseDeadline:
+    def test_expired_deadline_short_circuits(self):
+        workload = build_ec2(2, 4, 2)
+        result = chase(
+            workload.query, workload.catalog.constraints(), deadline=time.perf_counter()
+        )
+        assert result.timed_out
+        assert result.applied == 0
+
+    def test_no_deadline_reaches_fixpoint(self):
+        workload = build_ec2(1, 3, 1)
+        result = chase(workload.query, workload.catalog.constraints())
+        assert not result.timed_out
+
+    def test_restart_engine_honours_deadline(self):
+        workload = build_ec2(2, 4, 2)
+        result = chase(
+            workload.query,
+            workload.catalog.constraints(),
+            incremental=False,
+            deadline=time.perf_counter(),
+        )
+        assert result.timed_out
+
+    def test_deadline_passed_helper(self):
+        assert not deadline_passed(None)
+        assert not deadline_passed(time.perf_counter() + 60)
+        assert deadline_passed(time.perf_counter() - 1)
+
+    def test_cache_raises_and_does_not_poison(self):
+        workload = build_ec2(2, 4, 2)
+        cache = ChaseCache(workload.catalog.constraints())
+        with pytest.raises(ChaseTimeout):
+            cache.chase(workload.query, deadline=time.perf_counter())
+        assert len(cache) == 0  # the truncated result was not cached
+        # With a fresh (unlimited) budget the same query chases fine.
+        chased = cache.chase(workload.query)
+        assert chased.size() >= workload.query.size()
+
+    def test_full_backchase_timeout_flag(self):
+        workload = build_ec2(2, 4, 2)
+        constraints = workload.catalog.constraints()
+        universal = chase(workload.query, constraints).query
+        result = FullBackchase(workload.query, constraints, timeout=0.02).run(universal)
+        assert result.timed_out
+        assert result.elapsed <= 0.02 + EPSILON
