@@ -3,21 +3,23 @@
 # Everything pins PYTHONPATH=src (the package is a src-layout project and the
 # test suites import `repro` directly).  `make test` is the fast unit suite;
 # `make bench` regenerates every figure/table benchmark and refreshes
-# BENCH_PR1.json / BENCH_PR2.json; `make bench-quick` runs just the
-# parallel-backchase scaling benchmark at a reduced scale; `make tier1` is
+# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json; `make bench-quick` runs
+# just the parallel-backchase scaling benchmark at a reduced scale;
+# `make serve-smoke` checks the serving mode end to end; `make tier1` is
 # the full suite the CI driver runs.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint tier1 all
+.PHONY: test bench bench-quick lint serve-smoke tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not bench" tests
 
 # Benchmark suite: reproduces the paper's figures/tables and writes
-# BENCH_PR1.json / BENCH_PR2.json with per-figure wall-clock and counters.
+# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json with per-figure
+# wall-clock and counters.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m bench benchmarks
 
@@ -28,6 +30,14 @@ bench-quick:
 # Syntax/undefined-name lint (CI installs ruff; no-op rules beyond that).
 lint:
 	$(PYTHON) -m ruff check --select E9,F63,F7,F82 src tests benchmarks examples
+
+# Serving-mode smoke test: pipe the 10-request JSONL workload through the
+# warm sharded service and assert every plan set matches a fresh single-shot
+# CBOptimizer.optimize() (--check makes the CLI exit non-zero on mismatch).
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli batch \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null \
+		--shards 2 --workers 2 --check
 
 # Everything, exactly as the tier-1 verification runs it.
 tier1:

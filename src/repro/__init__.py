@@ -41,6 +41,7 @@ from repro.errors import (
 )
 from repro.schema.catalog import Catalog, Statistics
 from repro.schema.constraints import Dependency, Skeleton
+from repro.service import OptimizerService, ServiceRequest, ServiceResponse
 from repro.workloads import build_ec1, build_ec2, build_ec3
 
 __version__ = "0.1.0"
@@ -56,12 +57,15 @@ __all__ = [
     "Dependency",
     "ExecutionError",
     "OptimizationResult",
+    "OptimizerService",
     "PCQuery",
     "ParseError",
     "Plan",
     "QueryError",
     "ReproError",
     "SchemaError",
+    "ServiceRequest",
+    "ServiceResponse",
     "Skeleton",
     "Statistics",
     "__version__",

@@ -72,6 +72,10 @@ class BackchaseResult:
     executor / workers / waves:
         How the lattice was explored: the executor kind, the worker count,
         and (for the wave engine) the number of frontier waves dispatched.
+    chunk_policy:
+        How wave payloads were split across workers (``"inline"`` for the
+        serial executor, ``"size-ordered"`` for the pooled ones); also
+        recorded on the run's :class:`SearchStats`.
     """
 
     plans: list = field(default_factory=list)
@@ -86,6 +90,7 @@ class BackchaseResult:
     executor: str = "serial"
     workers: int = 1
     waves: int = 0
+    chunk_policy: str = ""
 
     @property
     def plan_count(self):
@@ -152,14 +157,19 @@ class FullBackchase:
         in the paper's experiments).
     strategy_label:
         Label recorded on the produced :class:`Plan` objects.
+    chase_cache:
+        Optional shared (possibly warm) :class:`ChaseCache` built for the
+        *same* dependency set; the engine creates a private one when omitted.
+        The optimizer service passes a per-constraint-set cache here so chase
+        fixpoints survive across requests.
     """
 
-    def __init__(self, original, dependencies, timeout=None, strategy_label="fb"):
+    def __init__(self, original, dependencies, timeout=None, strategy_label="fb", chase_cache=None):
         self.original = original
         self.dependencies = list(dependencies)
         self.timeout = timeout
         self.strategy_label = strategy_label
-        self.chase_cache = ChaseCache(self.dependencies)
+        self.chase_cache = chase_cache if chase_cache is not None else ChaseCache(self.dependencies)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -281,12 +291,20 @@ _NOT_EQUIVALENT = object()
 # ---------------------------------------------------------------------- #
 @dataclass
 class WaveContext:
-    """Picklable description of one backchase run, shared with the workers."""
+    """Picklable description of one backchase run, shared with the workers.
+
+    ``request_id`` identifies the originating service request when waves from
+    several concurrently in-flight queries share one executor (the scheduler
+    stamps it in :meth:`~repro.service.scheduler.ScheduledPool.start` and
+    uses it to demultiplex outcomes back to per-request futures); ``None``
+    for plain single-query runs.
+    """
 
     original: object
     universal_plan: object
     dependencies: list
     chase_kwargs: dict = field(default_factory=dict)
+    request_id: object = None
 
 
 @dataclass
@@ -309,6 +327,9 @@ class WaveOutcome:
     cache_misses: int = 0
     new_entries: dict = field(default_factory=dict)
     timed_out: bool = False
+    #: Echo of the context's request id, so schedulers batching chunks from
+    #: several requests into one wave can demux outcomes defensively.
+    request_id: object = None
 
 
 def _counters_delta(after, before):
@@ -342,7 +363,7 @@ def _evaluate_chunk(context, keys, deadline, cache, export_cache=False):
     the other chunks' activity.  Shared-cache engines read the accounting
     off the cache itself instead.
     """
-    outcome = WaveOutcome()
+    outcome = WaveOutcome(request_id=getattr(context, "request_id", None))
     if export_cache:
         hits_before, misses_before = cache.hits, cache.misses
         counters_before = _counters_copy(cache.counters)
@@ -378,6 +399,21 @@ def _round_robin(items, buckets):
     return [items[start::buckets] for start in range(buckets) if items[start::buckets]]
 
 
+def size_ordered_chunks(keys, buckets):
+    """Split lattice keys into at most ``buckets`` size-balanced chunks.
+
+    A subset's chase cost grows with the size of the restricted subquery, so
+    the keys are sorted by estimated chase size (their cardinality) before
+    being dealt round-robin — the longest-processing-time-first heuristic
+    that keeps skewed waves from serialising behind one overloaded chunk.
+    Ties break on the sorted variable names so the split is deterministic.
+    Verdict merging is order-insensitive, so the chunking policy never
+    changes the produced plan set.
+    """
+    ordered = sorted(keys, key=lambda key: (-len(key), tuple(sorted(key))))
+    return _round_robin(ordered, buckets)
+
+
 def resolve_worker_count(workers):
     """Resolve the ``workers`` knob: ``None`` means the machine's CPU count."""
     return max(1, workers if workers is not None else (os.cpu_count() or 1))
@@ -393,6 +429,8 @@ class SerialExecutor:
     #: Whether chunk outcomes come from a detached (worker-local) cache and
     #: must be merged back into the shared one.
     detached = False
+    #: How run_wave splits its keys across workers (recorded in SearchStats).
+    chunk_policy = "inline"
 
     def __init__(self, workers=None):
         self.workers = 1
@@ -426,6 +464,7 @@ class ThreadExecutor:
 
     kind = "threads"
     detached = False
+    chunk_policy = "size-ordered"
 
     def __init__(self, workers=None):
         self.workers = resolve_worker_count(workers)
@@ -437,7 +476,7 @@ class ThreadExecutor:
 
     def run_wave(self, keys, deadline, seed_entries=None):
         # seed_entries is ignored: every chunk shares the coordinator's cache.
-        chunks = _round_robin(keys, self.workers)
+        chunks = size_ordered_chunks(keys, self.workers)
         futures = [
             self._pool.submit(_evaluate_chunk, self._context, chunk, deadline, self._cache)
             for chunk in chunks
@@ -484,6 +523,7 @@ class ProcessExecutor:
 
     kind = "processes"
     detached = True
+    chunk_policy = "size-ordered"
 
     def __init__(self, workers=None):
         self.workers = resolve_worker_count(workers)
@@ -496,7 +536,7 @@ class ProcessExecutor:
         )
 
     def run_wave(self, keys, deadline, seed_entries=None):
-        chunks = _round_robin(keys, self.workers)
+        chunks = size_ordered_chunks(keys, self.workers)
         futures = [
             self._pool.submit(_process_chunk, (chunk, deadline, seed_entries))
             for chunk in chunks
@@ -555,6 +595,16 @@ class ParallelBackchase:
         ``"serial"`` (default), ``"threads"`` or ``"processes"``.
     workers:
         Worker count for the pooled executors (defaults to the CPU count).
+    pool:
+        Optional externally managed executor-protocol object (``start`` /
+        ``run_wave`` / ``map`` / ``close`` plus ``kind`` / ``workers`` /
+        ``detached``).  When given, it is used instead of building one from
+        ``executor`` / ``workers`` and is **not** closed by :meth:`run` —
+        the optimizer service passes its long-lived, cross-query batching
+        pool here.
+    chase_cache:
+        Optional shared (possibly warm) :class:`ChaseCache` built for the
+        same dependency set, as for :class:`FullBackchase`.
     """
 
     def __init__(
@@ -565,8 +615,10 @@ class ParallelBackchase:
         strategy_label="fb",
         executor="serial",
         workers=None,
+        pool=None,
+        chase_cache=None,
     ):
-        if executor not in EXECUTORS:
+        if pool is None and executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.original = original
         self.dependencies = list(dependencies)
@@ -574,7 +626,8 @@ class ParallelBackchase:
         self.strategy_label = strategy_label
         self.executor = executor
         self.workers = workers
-        self.chase_cache = ChaseCache(self.dependencies)
+        self.pool = pool
+        self.chase_cache = chase_cache if chase_cache is not None else ChaseCache(self.dependencies)
 
     def run(self, universal_plan):
         """Enumerate the minimal equivalent subqueries of ``universal_plan``."""
@@ -596,10 +649,12 @@ class ParallelBackchase:
         top = frozenset(universal_plan.variable_set)
         visited = {top}
         frontier = [top]
-        pool = make_executor(self.executor, self.workers)
+        owns_pool = self.pool is None
+        pool = make_executor(self.executor, self.workers) if owns_pool else self.pool
         pool.start(
             WaveContext(self.original, universal_plan, self.dependencies), self.chase_cache
         )
+        stats.chunk_policy = getattr(pool, "chunk_policy", pool.kind)
         # Cache entries already relayed to the workers (detached pools only):
         # each wave ships the delta merged since the previous wave, so every
         # worker benefits from every other worker's chases.
@@ -665,7 +720,8 @@ class ParallelBackchase:
                             plans[node] = subquery
                 frontier = sorted(next_frontier, key=lambda key: tuple(sorted(key)))
         finally:
-            pool.close()
+            if owns_pool:
+                pool.close()
 
         elapsed = time.perf_counter() - start
         plan_objects = dedupe_isomorphic_plans(
@@ -695,6 +751,7 @@ class ParallelBackchase:
             executor=pool.kind,
             workers=pool.workers,
             waves=waves,
+            chunk_policy=stats.chunk_policy,
         )
 
 
@@ -711,4 +768,5 @@ __all__ = [
     "deadline_passed",
     "make_executor",
     "resolve_worker_count",
+    "size_ordered_chunks",
 ]

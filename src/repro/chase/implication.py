@@ -10,19 +10,37 @@ The same machinery decides dependency implication ``D implies d`` (used to
 check that a single backchase step is justified, and exposed for tests): the
 premise of ``d`` is frozen into a canonical query, chased with ``D``, and the
 conclusion is checked against the result.
+
+Long-lived use: :class:`ChaseCache` instances can now outlive a single
+optimize call (the optimizer service keeps one warm per constraint set, see
+:mod:`repro.service`), so the cache supports an optional LRU bound
+(``max_entries``) with eviction counters, and :class:`ChaseCacheRegistry`
+hands out one cache per *exact* constraint set — a chase result is only
+valid for the dependency set it was chased with, so sharing is keyed by
+:func:`constraint_signature`.
 """
 
 from __future__ import annotations
 
 import threading
-from itertools import islice
+from collections import OrderedDict
 
 from repro.errors import ChaseTimeout
 from repro.cq.containment import outputs_match
 from repro.cq.homomorphism import find_homomorphism, find_homomorphisms
 from repro.cq.query import PCQuery
 from repro.lang.ast import Var, substitute
-from repro.chase.chase import ChaseCounters, chase
+from repro.chase.chase import ChaseCounters, ChaseResult, chase
+
+
+def constraint_signature(dependencies):
+    """A hashable, order-insensitive identity for a constraint set.
+
+    Chase results are only reusable across calls that chase with the *same*
+    dependencies, so every cache-sharing layer (the service's sessions, the
+    :class:`ChaseCacheRegistry`) keys by this signature.
+    """
+    return frozenset(dependencies)
 
 
 class ChaseCache:
@@ -37,21 +55,37 @@ class ChaseCache:
     (exported with :meth:`snapshot` / :meth:`export_since`) back into the
     shared cache with :meth:`merge_exported` after every wave.
 
+    For long-lived use (the optimizer service keeps caches warm across
+    optimize calls) the cache accepts an optional ``max_entries`` bound and
+    evicts least-recently-used entries once it is exceeded; ``evictions``
+    counts the entries dropped.  The default (``None``) is unbounded and
+    preserves the historical single-call behaviour exactly.
+
     Attributes
     ----------
     hits / misses:
         Cache hit/miss counts.
+    evictions:
+        Entries dropped by the LRU bound (0 when unbounded).
     counters:
         Aggregated :class:`~repro.chase.chase.ChaseCounters` over every
         cache-miss chase performed through this cache.
     """
 
-    def __init__(self, dependencies, **chase_kwargs):
+    def __init__(self, dependencies, max_entries=None, **chase_kwargs):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries!r}")
         self.dependencies = list(dependencies)
+        self.max_entries = max_entries
         self.chase_kwargs = chase_kwargs
-        self._cache = {}
+        self._cache = OrderedDict()
+        #: Insertion log backing :meth:`snapshot` / :meth:`export_since` — the
+        #: cache may evict, so "everything added after a marker" can no longer
+        #: be read off the dict length alone.
+        self._log = []
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.counters = ChaseCounters()
         self._lock = threading.Lock()
 
@@ -72,60 +106,155 @@ class ChaseCache:
         mid-chase a :class:`~repro.errors.ChaseTimeout` is raised and the
         partial result is *not* cached (a later call with a fresh budget must
         redo the chase from scratch rather than trust a truncated fixpoint).
+        """
+        result = self.chase_result(query, deadline=deadline)
+        if result.timed_out:
+            raise ChaseTimeout("chase deadline expired during a cached equivalence check")
+        return result.query
 
-        Thread-safe: the accounting updates are taken under a lock (the chase
-        computation itself is not, so two threads missing on the same
-        signature may both chase it — idempotent, just duplicated work).
+    def chase_result(self, query, deadline=None):
+        """Return a :class:`~repro.chase.chase.ChaseResult` for ``query`` (cached).
+
+        A hit returns a synthetic zero-cost result around the cached fixpoint
+        (``elapsed`` 0, empty counters) — this is what makes warm service
+        requests cheap.  A miss chases; a *timed-out* miss returns the partial
+        result **without caching it** (truncated fixpoints are never stored).
+
+        Thread-safe: concurrent requests of the service share one cache per
+        constraint set.  Lookup, accounting and the LRU bookkeeping are taken
+        under a lock; the chase computation itself is not (two threads missing
+        on the same signature may both chase it — idempotent, just duplicated
+        work).
         """
         key = query.signature()
-        cached = self._cache.get(key)
-        if cached is not None:
-            with self._lock:
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
                 self.hits += 1
-            return cached
+                if self.max_entries is not None:
+                    self._cache.move_to_end(key)
+                return ChaseResult(query=cached)
         result = chase(query, self.dependencies, deadline=deadline, **self.chase_kwargs)
         with self._lock:
             self.misses += 1
             self.counters.add(result.counters)
-        if result.timed_out:
-            raise ChaseTimeout("chase deadline expired during a cached equivalence check")
-        self._cache[key] = result.query
-        return result.query
+            if not result.timed_out:
+                self._store(key, result.query)
+        return result
+
+    def _store(self, key, value):
+        """Record a fixpoint under the lock, evicting when over the bound."""
+        if key not in self._cache:
+            self._cache[key] = value
+            self._log.append(key)
+            self._evict()
+            self._compact_log()
+        elif self.max_entries is not None:
+            self._cache.move_to_end(key)
+
+    def _evict(self):
+        while self.max_entries is not None and len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+
+    def _compact_log(self):
+        # Under heavy eviction churn the insertion log would otherwise grow
+        # without bound.  Compaction rewrites it to the live keys; outstanding
+        # snapshot markers then under-report (export_since returns fewer
+        # entries than were actually added), which only costs worker processes
+        # a re-chase — merge_exported is idempotent, so results are unchanged.
+        if self.max_entries is not None and len(self._log) > 4 * self.max_entries + 16:
+            self._log = list(self._cache)
 
     # ------------------------------------------------------------------ #
-    # merging (parallel backchase support)
+    # merging (parallel backchase / service support)
     # ------------------------------------------------------------------ #
     def __len__(self):
         return len(self._cache)
 
     def snapshot(self):
-        """Return an opaque marker for :meth:`export_since`.
-
-        The cache only ever appends entries (it never evicts), so the current
-        length identifies everything cached so far.
-        """
-        return len(self._cache)
+        """Return an opaque marker for :meth:`export_since`."""
+        with self._lock:
+            return len(self._log)
 
     def export_since(self, marker=0):
         """Return the entries added after ``marker`` as a plain dict.
 
         Used by worker processes to ship their cache misses back to the
-        coordinating process without re-serialising the whole cache.
+        coordinating process without re-serialising the whole cache.  Entries
+        evicted since they were logged are skipped; after a log compaction a
+        stale marker may under-report (see :meth:`_compact_log`) — callers
+        treat the export as a best-effort warm-up, never as ground truth.
         """
-        return dict(islice(self._cache.items(), marker, None))
+        with self._lock:
+            return {
+                key: self._cache[key] for key in self._log[marker:] if key in self._cache
+            }
 
     def merge_exported(self, entries, hits=0, misses=0, counters=None):
         """Fold a worker's exported entries and accounting into this cache."""
-        for key, value in entries.items():
-            self._cache.setdefault(key, value)
-        self.hits += hits
-        self.misses += misses
-        if counters is not None:
-            self.counters.add(counters)
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._cache:
+                    self._cache[key] = value
+                    self._log.append(key)
+            self._evict()
+            self._compact_log()
+            self.hits += hits
+            self.misses += misses
+            if counters is not None:
+                self.counters.add(counters)
 
     def merge(self, other):
         """Merge another :class:`ChaseCache` (entries and accounting)."""
         self.merge_exported(other._cache, other.hits, other.misses, other.counters)
+
+
+class ChaseCacheRegistry:
+    """Warm :class:`ChaseCache` instances keyed by exact constraint set.
+
+    One optimize call chases under several *different* dependency sets (the
+    full set for FB, per-fragment sets for OQF, per-stratum sets for OCS);
+    reusing a chase result across sets would be unsound.  The registry hands
+    out — and keeps warm across calls — one cache per
+    :func:`constraint_signature`, which is how the optimizer service shares
+    state between requests without changing any plan set.
+
+    Thread-safe; ``max_entries`` bounds each per-set cache individually.
+    """
+
+    def __init__(self, max_entries=None, **chase_kwargs):
+        self.max_entries = max_entries
+        self.chase_kwargs = chase_kwargs
+        self._caches = {}
+        self._lock = threading.Lock()
+
+    def for_constraints(self, dependencies):
+        """Return the (shared, warm) cache for exactly ``dependencies``."""
+        key = constraint_signature(dependencies)
+        with self._lock:
+            cache = self._caches.get(key)
+            if cache is None:
+                cache = ChaseCache(
+                    dependencies, max_entries=self.max_entries, **self.chase_kwargs
+                )
+                self._caches[key] = cache
+            return cache
+
+    def __len__(self):
+        return len(self._caches)
+
+    def stats(self):
+        """Aggregate accounting over every cache in the registry."""
+        with self._lock:
+            caches = list(self._caches.values())
+        return {
+            "caches": len(caches),
+            "entries": sum(len(cache) for cache in caches),
+            "hits": sum(cache.hits for cache in caches),
+            "misses": sum(cache.misses for cache in caches),
+            "evictions": sum(cache.evictions for cache in caches),
+        }
 
 
 def contained_under(query, other, dependencies, chase_cache=None):
@@ -202,4 +331,11 @@ def implies(dependencies, candidate, chase_cache=None):
     return extension is not None
 
 
-__all__ = ["ChaseCache", "contained_under", "equivalent_under", "implies"]
+__all__ = [
+    "ChaseCache",
+    "ChaseCacheRegistry",
+    "constraint_signature",
+    "contained_under",
+    "equivalent_under",
+    "implies",
+]

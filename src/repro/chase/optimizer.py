@@ -125,12 +125,23 @@ class OptimizationResult:
 # ---------------------------------------------------------------------- #
 @dataclass
 class _StageTask:
-    """One independent chase+backchase unit: an OQF fragment or an OCS stage."""
+    """One independent chase+backchase unit: an OQF fragment or an OCS stage.
+
+    ``request_id`` identifies the originating service request when stage
+    tasks from several concurrently in-flight queries are batched into the
+    same executor waves (the scheduler stamps it and demuxes outcomes back to
+    per-request futures).  ``chase_cache`` is an optional warm
+    :class:`~repro.chase.implication.ChaseCache` built for *exactly*
+    ``constraints`` (never set on the pickled process-pool path — worker
+    processes keep their own caches).
+    """
 
     query: object
     constraints: list
     deadline: float | None
     label: str
+    request_id: object = None
+    chase_cache: object = None
 
 
 @dataclass
@@ -152,9 +163,15 @@ def _run_stage_task(task):
 
     The remaining budget is recomputed *after* the chase (the chase itself is
     deadline-bounded), so the backchase never starts with a stale budget and
-    the stage as a whole stays inside the optimizer's deadline.
+    the stage as a whole stays inside the optimizer's deadline.  A warm
+    ``task.chase_cache`` short-circuits both the stage chase and the
+    backchase's equivalence chases without changing any result (cache entries
+    are exact fixpoints for exactly ``task.constraints``).
     """
-    chase_result = chase(task.query, task.constraints, deadline=task.deadline)
+    if task.chase_cache is not None:
+        chase_result = task.chase_cache.chase_result(task.query, deadline=task.deadline)
+    else:
+        chase_result = chase(task.query, task.constraints, deadline=task.deadline)
     if chase_result.timed_out:
         return _StageOutcome(
             chase_time=chase_result.elapsed,
@@ -165,7 +182,11 @@ def _run_stage_task(task):
         None if task.deadline is None else max(0.0, task.deadline - time.perf_counter())
     )
     backchaser = FullBackchase(
-        task.query, task.constraints, timeout=remaining, strategy_label=task.label
+        task.query,
+        task.constraints,
+        timeout=remaining,
+        strategy_label=task.label,
+        chase_cache=task.chase_cache,
     )
     result = backchaser.run(chase_result.query)
     return _StageOutcome(
@@ -200,18 +221,43 @@ class CBOptimizer:
         ``"serial"`` (default), ``"threads"`` or ``"processes"``; drives the
         wave-parallel backchase for ``"fb"`` and the fragment/stage fan-out
         for ``"oqf"`` / ``"ocs"``.
+    cache_registry:
+        Optional :class:`~repro.chase.implication.ChaseCacheRegistry` of
+        warm chase caches keyed by exact constraint set.  When given, the
+        chase phase, the backchase equivalence chases and the OQF/OCS stage
+        chases all read/write the registry's caches, so fixpoints survive
+        across optimize calls (the optimizer service shares one registry per
+        catalog session).  Plan sets are unaffected — cached entries are
+        exact fixpoints for exactly the constraint set they are keyed under.
+    pool:
+        Optional externally managed executor-protocol object used for both
+        the wave-parallel backchase and the fragment/stage fan-out instead of
+        per-call pools built from ``executor`` / ``workers``.  Never closed
+        by this class; the service passes its long-lived, cross-query
+        batching pool here.
     """
 
-    def __init__(self, catalog=None, constraints=None, timeout=None, workers=1, executor="serial"):
+    def __init__(
+        self,
+        catalog=None,
+        constraints=None,
+        timeout=None,
+        workers=1,
+        executor="serial",
+        cache_registry=None,
+        pool=None,
+    ):
         if catalog is None and constraints is None:
             raise ValueError("CBOptimizer needs a catalog or an explicit constraint list")
-        if executor not in EXECUTORS:
+        if pool is None and executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.catalog = catalog
         self._constraints = list(constraints) if constraints is not None else None
         self.timeout = timeout
         self.workers = workers
         self.executor = executor
+        self.cache_registry = cache_registry
+        self.pool = pool
 
     # ------------------------------------------------------------------ #
     # constraint access
@@ -284,14 +330,57 @@ class CBOptimizer:
         """Record the run's actual parallel configuration on the result.
 
         The ``serial`` executor always runs single-worker, whatever the
-        ``workers`` knob says.
+        ``workers`` knob says; an external pool reports its own kind/size.
         """
+        if self.pool is not None:
+            result.executor = self.pool.kind
+            result.workers = self.pool.workers
+            return result
         result.executor = self.executor
         result.workers = 1 if self.executor == "serial" else resolve_worker_count(self.workers)
         return result
 
+    def _stage_cache(self, constraints):
+        """Return the warm cache for exactly ``constraints``, or ``None``."""
+        if self.cache_registry is None:
+            return None
+        return self.cache_registry.for_constraints(constraints)
+
+    def _stage_task_cache(self, constraints):
+        """The warm cache for a fragment/stage task, or ``None``.
+
+        Stage tasks dispatched to a detached (process) pool are pickled, so a
+        shared cache would be copied rather than shared — those tasks run
+        with their own per-worker caches instead.
+        """
+        detached = (
+            getattr(self.pool, "detached", False)
+            if self.pool is not None
+            else self.executor == "processes"
+        )
+        if detached:
+            return None
+        return self._stage_cache(constraints)
+
+    def _chase(self, query, constraints, deadline):
+        """Chase ``query``, through the warm cache registry when configured."""
+        cache = self._stage_cache(constraints)
+        if cache is not None:
+            return cache.chase_result(query, deadline=deadline)
+        return chase(query, constraints, deadline=deadline)
+
     def _make_backchaser(self, original, constraints, timeout, label):
         """Build the configured backchase engine for one universal plan."""
+        chase_cache = self._stage_cache(constraints)
+        if self.pool is not None:
+            return ParallelBackchase(
+                original,
+                constraints,
+                timeout=timeout,
+                strategy_label=label,
+                pool=self.pool,
+                chase_cache=chase_cache,
+            )
         if self.executor != "serial":
             return ParallelBackchase(
                 original,
@@ -300,19 +389,29 @@ class CBOptimizer:
                 strategy_label=label,
                 executor=self.executor,
                 workers=self.workers,
+                chase_cache=chase_cache,
             )
-        return FullBackchase(original, constraints, timeout=timeout, strategy_label=label)
+        return FullBackchase(
+            original, constraints, timeout=timeout, strategy_label=label, chase_cache=chase_cache
+        )
 
     def _make_stage_pool(self):
         """Build the fragment/stage fan-out pool, or ``None`` when serial.
 
         Callers create one pool per optimize call and reuse it across every
         stratum/fragment wave (pool startup is not free, especially for
-        process pools), closing it in a ``finally``.
+        process pools), closing it in a ``finally`` — except for an external
+        ``pool``, whose lifecycle belongs to its owner (the service).
         """
+        if self.pool is not None:
+            return self.pool
         if self.executor == "serial":
             return None
         return make_executor(self.executor, self.workers)
+
+    def _close_stage_pool(self, pool):
+        if pool is not None and pool is not self.pool:
+            pool.close()
 
     @staticmethod
     def _map_stage_tasks(tasks, pool=None):
@@ -331,7 +430,7 @@ class CBOptimizer:
     def _optimize_fb(self, query, constraints, timeout, strategy_label="fb"):
         start = time.perf_counter()
         deadline = (start + timeout) if timeout is not None else None
-        chase_result = chase(query, constraints, deadline=deadline)
+        chase_result = self._chase(query, constraints, deadline)
         if chase_result.timed_out:
             # The chase itself ran out of budget: the partially chased query
             # is not a universal plan, so backchasing it could yield
@@ -383,7 +482,15 @@ class CBOptimizer:
             for skeleton in fragment.skeletons:
                 fragment_constraints.extend(skeleton.constraints)
                 fragment_constraints.extend(self._extra_constraints_for(skeleton))
-            tasks.append(_StageTask(fragment.query, fragment_constraints, deadline, "oqf"))
+            tasks.append(
+                _StageTask(
+                    fragment.query,
+                    fragment_constraints,
+                    deadline,
+                    "oqf",
+                    chase_cache=self._stage_task_cache(fragment_constraints),
+                )
+            )
 
         chase_time = 0.0
         explored = 0
@@ -397,8 +504,7 @@ class CBOptimizer:
         try:
             outcomes = self._map_stage_tasks(tasks, pool)
         finally:
-            if pool is not None:
-                pool.close()
+            self._close_stage_pool(pool)
         for fragment, outcome in zip(decomposition.fragments, outcomes):
             chase_time += outcome.chase_time
             explored += outcome.subqueries_explored
@@ -465,8 +571,16 @@ class CBOptimizer:
         pool = self._make_stage_pool()
         try:
             for stratum in strata:
+                stratum_constraints = list(stratum)
+                stratum_cache = self._stage_task_cache(stratum_constraints)
                 tasks = [
-                    _StageTask(stage_query, list(stratum), deadline, "ocs")
+                    _StageTask(
+                        stage_query,
+                        stratum_constraints,
+                        deadline,
+                        "ocs",
+                        chase_cache=stratum_cache,
+                    )
                     for stage_query in current
                 ]
                 next_stage = []
@@ -486,8 +600,7 @@ class CBOptimizer:
                         next_stage.append(stage_query)
                 current = _dedupe_queries(next_stage)
         finally:
-            if pool is not None:
-                pool.close()
+            self._close_stage_pool(pool)
         plans = dedupe_plans([Plan(plan_query, strategy="ocs") for plan_query in current])
         plans = plans or [Plan(query, strategy="ocs")]
         total = time.perf_counter() - start

@@ -9,16 +9,31 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fig10 --size 10000
     python -m repro.cli parallel-scaling --executor processes --timeout 60
     python -m repro.cli optimize ec2 --stars 2 --corners 3 --views 1 --strategy oqf --workers 4 --executor processes
+    python -m repro.cli batch --input requests.jsonl --output results.jsonl --shards 2
+    python -m repro.cli serve < requests.jsonl
 
 The ``fig*`` / ``plans-table`` commands print the same rows the corresponding
 figures and tables of the paper report; ``optimize`` runs a single optimizer
 invocation on one of the experimental configurations and prints the plans.
+
+``batch`` and ``serve`` run the long-lived :mod:`repro.service` optimizer
+service over a JSONL stream of requests (see ``_decode_request`` for the
+schema, or the README's "Serving mode" section): ``batch`` reads the whole
+input, submits everything to the warm sharded service, and writes one result
+line per request in input order; ``serve`` streams — each input line is
+submitted as it is read and results are emitted as they complete.  With
+``--check``, every service response is re-verified against a fresh
+single-shot :class:`~repro.chase.optimizer.CBOptimizer` run and the process
+exits non-zero on any plan-set mismatch (the ``make serve-smoke`` target).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
+import threading
 
 from repro.experiments import figures
 from repro.workloads import build_ec1, build_ec2, build_ec3
@@ -39,6 +54,10 @@ EXPERIMENTS = {
         figures.parallel_backchase_scaling,
         ("stars", "corners", "views", "timeout", "workers", "executor"),
     ),
+    "service-throughput": (
+        figures.service_throughput,
+        ("timeout", "workers", "shards", "repeats"),
+    ),
 }
 
 
@@ -57,6 +76,13 @@ def build_parser():
         _add_common_options(experiment)
         if "workers" in accepted:
             _add_parallel_options(experiment)
+        if "shards" in accepted:
+            experiment.add_argument(
+                "--shards", type=int, default=None, help="service shard count"
+            )
+            experiment.add_argument(
+                "--repeats", type=int, default=None, help="repetitions of the request mix"
+            )
 
     optimize = subparsers.add_parser(
         "optimize", help="run one optimizer invocation on a workload and print the plans"
@@ -71,6 +97,16 @@ def build_parser():
     )
     optimize.add_argument("--classes", type=int, default=3, help="EC3: number of classes")
     optimize.add_argument("--asrs", type=int, default=0, help="EC3: number of ASRs")
+
+    for name, streaming in (("batch", False), ("serve", True)):
+        command = subparsers.add_parser(
+            name,
+            help=(
+                "run a JSONL request stream through the warm optimizer service "
+                + ("(streaming)" if streaming else "(collect all, emit in input order)")
+            ),
+        )
+        _add_service_options(command)
     return parser
 
 
@@ -92,6 +128,54 @@ def _add_parallel_options(subparser):
         choices=["serial", "threads", "processes"],
         default=None,
         help="how to fan out the backchase lattice and OQF/OCS stages",
+    )
+
+
+def _add_service_options(subparser):
+    subparser.add_argument(
+        "--input", default="-", help="JSONL request file ('-' = stdin, the default)"
+    )
+    subparser.add_argument(
+        "--output", default="-", help="JSONL result file ('-' = stdout, the default)"
+    )
+    subparser.add_argument("--shards", type=int, default=1, help="service shard count")
+    subparser.add_argument(
+        "--executor",
+        choices=["serial", "threads"],
+        default="threads",
+        help="wave executor of every shard (process pools cannot share warm caches)",
+    )
+    subparser.add_argument(
+        "--workers", type=int, default=None, help="worker threads per shard scheduler"
+    )
+    subparser.add_argument(
+        "--max-inflight", type=int, default=4, help="concurrent requests per shard"
+    )
+    subparser.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        help="LRU bound per chase cache (default: unbounded)",
+    )
+    subparser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="LRU bound on warm sessions per shard (default: unbounded)",
+    )
+    subparser.add_argument(
+        "--timeout", type=float, default=None, help="default per-request budget (s)"
+    )
+    subparser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify every response against a fresh single-shot optimize "
+        "(exit non-zero on any plan-set mismatch)",
+    )
+    subparser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a final JSONL line with the service-wide stats",
     )
 
 
@@ -119,12 +203,23 @@ def _build_workload(args):
     return build_ec3(args.classes, args.asrs)
 
 
+def _resolve_workers(workers, executor):
+    """Resolve the ``--workers`` default for a requested executor.
+
+    ``serial`` always means one worker — also when ``--executor serial`` is
+    passed explicitly with ``--workers`` omitted (historically that
+    combination fell through to CPU-count semantics).  For the pooled
+    executors an omitted ``--workers`` keeps meaning "CPU count" (``None``).
+    """
+    if workers is not None:
+        return workers
+    return 1 if executor == "serial" else None
+
+
 def _run_optimize(args, out):
     workload = _build_workload(args)
     executor = args.executor or "serial"
-    # An omitted --workers means "CPU count" once a pooled executor is
-    # requested, and plain single-worker serial otherwise.
-    workers = args.workers if args.workers is not None else (None if args.executor else 1)
+    workers = _resolve_workers(args.workers, executor)
     optimizer = workload.optimizer(timeout=args.timeout, workers=workers, executor=executor)
     result = optimizer.optimize(workload.query, strategy=args.strategy)
     print(
@@ -141,6 +236,194 @@ def _run_optimize(args, out):
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# JSONL serving (the `batch` / `serve` subcommands)
+# ---------------------------------------------------------------------- #
+#: workload name -> (builder, parameter names accepted in a request's "params")
+WORKLOAD_BUILDERS = {
+    "ec1": (build_ec1, ("relations", "secondary_indexes")),
+    "ec2": (build_ec2, ("stars", "corners", "views")),
+    "ec3": (build_ec3, ("classes", "asrs")),
+}
+
+
+def _decode_request(line, default_id):
+    """Parse one JSONL request line into ``(request_id, workload, strategy, timeout)``.
+
+    Schema::
+
+        {"id": "r1",                  # optional; defaults to the line number
+         "workload": "ec2",           # ec1 | ec2 | ec3
+         "params": {"stars": 2, "corners": 3, "views": 1},   # builder kwargs
+         "strategy": "fb",            # fb | oqf | ocs (default fb)
+         "timeout": 30.0}             # optional per-request budget (s)
+    """
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError("request line must be a JSON object")
+    name = record.get("workload")
+    if name not in WORKLOAD_BUILDERS:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_BUILDERS)}"
+        )
+    builder, accepted = WORKLOAD_BUILDERS[name]
+    params = record.get("params") or {}
+    unknown = set(params) - set(accepted)
+    if unknown:
+        raise ValueError(f"unknown {name} params {sorted(unknown)}; accepted: {accepted}")
+    workload = builder(**params)
+    return (
+        record.get("id", default_id),
+        workload,
+        record.get("strategy", "fb"),
+        record.get("timeout"),
+    )
+
+
+def _plan_digest(plans):
+    """Stable short digests of a plan set (sorted, whitespace-insensitive)."""
+    texts = sorted(" ".join(str(plan.query).split()) for plan in plans)
+    return [hashlib.sha256(text.encode("utf-8")).hexdigest()[:16] for text in texts]
+
+
+def _encode_response(request_id, workload, strategy, response, checked=None):
+    """Serialize one service response as a JSONL record."""
+    record = {"id": request_id, "workload": workload.name, "strategy": strategy}
+    if not response.ok:
+        record["status"] = "error"
+        record["error"] = response.error
+        return record
+    result = response.result
+    record.update(
+        status="ok",
+        plan_count=result.plan_count,
+        plan_digests=_plan_digest(result.plans),
+        total_time_s=round(result.total_time, 6),
+        timed_out=result.timed_out,
+        shard=response.metrics.shard,
+        session=response.metrics.session,
+        cache_hits=response.metrics.cache_hits,
+        cache_misses=response.metrics.cache_misses,
+        latency_s=round(response.metrics.latency, 6),
+    )
+    if checked is not None:
+        record["matches_single_shot"] = checked
+    return record
+
+
+def _check_against_single_shot(workload, strategy, timeout, response):
+    """Re-run the request single-shot and compare plan signature sets."""
+    if not response.ok:
+        return False
+    optimizer = workload.optimizer(timeout=timeout)
+    fresh = optimizer.optimize(workload.query, strategy=strategy)
+    return {plan.signature() for plan in fresh.plans} == {
+        plan.signature() for plan in response.result.plans
+    }
+
+
+def _open_maybe(path, mode, fallback):
+    if path == "-":
+        return fallback, False
+    return open(path, mode, encoding="utf-8"), True
+
+
+def _run_service_stream(args, out, streaming):
+    """Drive the optimizer service from a JSONL stream (batch and serve)."""
+    from repro.service import OptimizerService
+
+    in_stream, close_in = _open_maybe(args.input, "r", sys.stdin)
+    out_stream, close_out = _open_maybe(args.output, "w", out)
+    write_lock = threading.Lock()
+    failures = []
+
+    def emit(record):
+        with write_lock:
+            print(json.dumps(record), file=out_stream)
+            out_stream.flush()
+
+    def finish(request_id, workload, strategy, timeout, response):
+        checked = None
+        if args.check:
+            checked = _check_against_single_shot(workload, strategy, timeout, response)
+            if not checked:
+                failures.append(request_id)
+        if not response.ok:
+            failures.append(request_id)
+        emit(_encode_response(request_id, workload, strategy, response, checked))
+
+    service = OptimizerService(
+        shards=args.shards,
+        executor=args.executor,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_cache_entries=args.max_cache_entries,
+        max_sessions=args.max_sessions,
+        default_timeout=args.timeout,
+    )
+    try:
+        pending = []
+        for number, line in enumerate(in_stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request_id, workload, strategy, timeout = _decode_request(line, number)
+            except (ValueError, TypeError) as error:
+                failures.append(number)
+                emit({"id": number, "status": "error", "error": str(error)})
+                continue
+            future = service.submit(
+                workload.query,
+                strategy=strategy,
+                catalog=workload.catalog,
+                timeout=timeout,
+                request_id=request_id,
+            )
+            if streaming:
+                # The completion event guards the shutdown path: a future's
+                # waiters wake *before* its done-callbacks run, so waiting on
+                # the futures alone would let the main thread emit --stats,
+                # compute the exit code and close the streams while a
+                # callback is still writing its result line.
+                completed = threading.Event()
+
+                def _finish_cb(
+                    f,
+                    rid=request_id,
+                    w=workload,
+                    s=strategy,
+                    t=timeout,
+                    done=completed,
+                ):
+                    try:
+                        finish(rid, w, s, t, f.result())
+                    except Exception:  # noqa: BLE001 - never lose the exit code
+                        failures.append(rid)
+                    finally:
+                        done.set()
+
+                future.add_done_callback(_finish_cb)
+                pending.append(completed)
+            else:
+                pending.append((request_id, workload, strategy, timeout, future))
+        if streaming:
+            for completed in pending:
+                completed.wait()
+        else:
+            for request_id, workload, strategy, timeout, future in pending:
+                finish(request_id, workload, strategy, timeout, future.result())
+        if args.stats:
+            emit({"stats": service.stats().as_dict()})
+    finally:
+        service.shutdown()
+        if close_in:
+            in_stream.close()
+        if close_out:
+            out_stream.close()
+    return 1 if failures else 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -151,6 +434,8 @@ def main(argv=None, out=None):
         return 0
     if args.command == "optimize":
         return _run_optimize(args, out)
+    if args.command in ("batch", "serve"):
+        return _run_service_stream(args, out, streaming=args.command == "serve")
     return _run_experiment(args.command, args, out)
 
 

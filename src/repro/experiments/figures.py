@@ -23,6 +23,7 @@ from repro.experiments.harness import (
     measure_chase,
     measure_execution,
     measure_parallel_scaling,
+    measure_service_throughput,
     measure_strategy,
 )
 from repro.experiments.reporting import render_table
@@ -364,6 +365,61 @@ def parallel_backchase_scaling(
 
 
 # ---------------------------------------------------------------------- #
+# Service throughput (post-paper: the PR 4 experiment)
+# ---------------------------------------------------------------------- #
+def service_throughput(
+    repeats=8,
+    shards=2,
+    executor="threads",
+    workers=2,
+    timeout=DEFAULT_TIMEOUT,
+):
+    """Warm sharded serving vs. cold per-call optimization on a mixed workload.
+
+    Runs ``repeats`` interleaved rounds of the mixed EC1/EC2/EC3 request mix
+    (:func:`~repro.experiments.harness.default_service_mix`) twice: cold —
+    a fresh :class:`~repro.chase.optimizer.CBOptimizer` per request — and
+    warm, through a long-lived :class:`~repro.service.OptimizerService`.
+    Every warm response is asserted signature-identical to its cold twin;
+    the table reports throughput, the cross-request cache-hit rate, and the
+    latency percentiles.
+    """
+    measurement = measure_service_throughput(
+        repeats=repeats, shards=shards, executor=executor, workers=workers, timeout=timeout
+    )
+    result = ExperimentResult(
+        f"Optimizer service throughput [{measurement.request_count} requests, "
+        f"{measurement.distinct_configs} configs, {measurement.shards} shards, "
+        f"{measurement.executor} x{measurement.workers}]",
+        [
+            "mode",
+            "total (s)",
+            "queries/s",
+            "p50 (s)",
+            "p95 (s)",
+            "cache hit rate",
+            "plans match",
+        ],
+        notes=(
+            f"warm speedup {measurement.speedup:.2f}x; "
+            f"{measurement.waves} waves ({measurement.cross_request_waves} cross-request); "
+            f"{measurement.cache_evictions} evictions"
+        ),
+    )
+    result.rows.append(
+        ("cold per-call", round(measurement.cold_seconds, 3), round(measurement.cold_qps, 2),
+         round(measurement.cold_p50, 4), round(measurement.cold_p95, 4), "-", True)
+    )
+    result.rows.append(
+        ("warm service", round(measurement.warm_seconds, 3), round(measurement.warm_qps, 2),
+         round(measurement.warm_p50, 4), round(measurement.warm_p95, 4),
+         round(measurement.cache_hit_rate, 3), measurement.plans_match)
+    )
+    result.measurement = measurement
+    return result
+
+
+# ---------------------------------------------------------------------- #
 # Figure 9: plan detail for one EC2 instance
 # ---------------------------------------------------------------------- #
 def figure9_plan_detail(stars=3, corners=2, views=1, size=5000, seed=0, timeout=DEFAULT_TIMEOUT):
@@ -472,4 +528,5 @@ __all__ = [
     "figure9_plan_detail",
     "parallel_backchase_scaling",
     "plans_table_ec2",
+    "service_throughput",
 ]

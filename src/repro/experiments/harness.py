@@ -12,9 +12,10 @@ helpers below:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
-from repro.chase.backchase import FullBackchase, ParallelBackchase
+from repro.chase.backchase import FullBackchase, ParallelBackchase, resolve_worker_count
 from repro.chase.chase import chase
 from repro.engine.executor import execute_timed
 
@@ -159,6 +160,140 @@ def measure_parallel_scaling(workload, worker_counts=(1, 2, 4), executor="thread
 
 
 @dataclass
+class ServiceThroughputMeasurement:
+    """Warm sharded service vs. cold per-call optimization (the PR 4 experiment).
+
+    ``cold_seconds`` runs every request through a *fresh*
+    :class:`~repro.chase.optimizer.CBOptimizer` sequentially (per-call pools,
+    per-call caches — the library-call baseline); ``warm_seconds`` runs the
+    same request list through a long-lived
+    :class:`~repro.service.OptimizerService`.  ``plans_match`` is the
+    correctness half: every service response's plan set must be
+    signature-identical to its cold twin.  ``cache_hit_rate`` is measured
+    *across* requests (the warm caches are exactly what the cold baseline
+    lacks).
+    """
+
+    request_count: int
+    distinct_configs: int
+    shards: int
+    executor: str
+    workers: int
+    cold_seconds: float
+    warm_seconds: float
+    cold_qps: float
+    warm_qps: float
+    speedup: float
+    cache_hit_rate: float
+    cache_evictions: int
+    waves: int
+    cross_request_waves: int
+    cold_p50: float
+    cold_p95: float
+    warm_p50: float
+    warm_p95: float
+    plans_match: bool
+    errors: int = 0
+
+
+def default_service_mix():
+    """The mixed EC1/EC2/EC3 request mix the serving benchmarks use.
+
+    Seven distinct (workload, strategy) configurations — small enough that a
+    single cold call stays sub-second, varied enough that routing spreads
+    them over shards and every strategy's stage pipeline is exercised.
+    """
+    from repro.workloads import build_ec1, build_ec2, build_ec3
+
+    return [
+        (build_ec1(2, 1), "fb"),
+        (build_ec1(3, 0), "ocs"),
+        (build_ec2(1, 3, 1), "fb"),
+        (build_ec2(1, 3, 2), "oqf"),
+        (build_ec2(2, 2, 1), "oqf"),
+        (build_ec3(3, 0), "fb"),
+        (build_ec3(3, 1), "ocs"),
+    ]
+
+
+def measure_service_throughput(
+    mix=None,
+    repeats=8,
+    shards=2,
+    executor="threads",
+    workers=2,
+    max_inflight=4,
+    timeout=None,
+):
+    """Measure the warm service against the cold per-call baseline.
+
+    The request list interleaves ``repeats`` rounds of the configuration
+    ``mix`` (round-robin, so concurrently in-flight requests come from
+    different catalogs and the cross-query batching actually mixes queries).
+    """
+    from repro.service import OptimizerService
+
+    mix = mix if mix is not None else default_service_mix()
+    requests = [config for _ in range(repeats) for config in mix]
+
+    cold_latencies = []
+    cold_signatures = []
+    cold_start = time.perf_counter()
+    for workload, strategy in requests:
+        call_start = time.perf_counter()
+        result = workload.optimizer(timeout=timeout).optimize(workload.query, strategy=strategy)
+        cold_latencies.append(time.perf_counter() - call_start)
+        cold_signatures.append({plan.signature() for plan in result.plans})
+    cold_seconds = time.perf_counter() - cold_start
+
+    with OptimizerService(
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        max_inflight=max_inflight,
+        default_timeout=timeout,
+    ) as service:
+        warm_start = time.perf_counter()
+        futures = [
+            service.submit(workload.query, strategy=strategy, catalog=workload.catalog)
+            for workload, strategy in requests
+        ]
+        responses = [future.result() for future in futures]
+        warm_seconds = time.perf_counter() - warm_start
+        stats = service.stats()
+
+    plans_match = all(
+        response.ok
+        and {plan.signature() for plan in response.result.plans} == cold_signatures[index]
+        for index, response in enumerate(responses)
+    )
+    from repro.service.metrics import percentile
+
+    return ServiceThroughputMeasurement(
+        request_count=len(requests),
+        distinct_configs=len(mix),
+        shards=len(stats.shards),
+        executor=executor,
+        workers=1 if executor == "serial" else resolve_worker_count(workers),
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        cold_qps=len(requests) / cold_seconds if cold_seconds > 0 else float("inf"),
+        warm_qps=len(requests) / warm_seconds if warm_seconds > 0 else float("inf"),
+        speedup=cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        cache_hit_rate=stats.cache_hit_rate,
+        cache_evictions=stats.cache_evictions,
+        waves=stats.waves,
+        cross_request_waves=stats.cross_request_waves,
+        cold_p50=percentile(cold_latencies, 0.50),
+        cold_p95=percentile(cold_latencies, 0.95),
+        warm_p50=stats.p50_latency,
+        warm_p95=stats.p95_latency,
+        plans_match=plans_match,
+        errors=stats.errors,
+    )
+
+
+@dataclass
 class ExecutionMeasurement:
     """Execution of every generated plan on a populated database (Figure 9)."""
 
@@ -236,9 +371,12 @@ __all__ = [
     "ChaseMeasurement",
     "ExecutionMeasurement",
     "ParallelBackchaseMeasurement",
+    "ServiceThroughputMeasurement",
     "StrategyMeasurement",
+    "default_service_mix",
     "measure_chase",
     "measure_execution",
     "measure_parallel_scaling",
+    "measure_service_throughput",
     "measure_strategy",
 ]

@@ -1,0 +1,42 @@
+"""Long-lived optimizer serving: sharded multi-query C&B with warm caches.
+
+This package is the architectural step from "library call" to "service": an
+:class:`OptimizerService` keeps worker pools and per-catalog chase caches
+warm across :meth:`~repro.service.service.OptimizerService.submit` calls,
+routes requests to shards by constraint-set signature, and batches the
+backchase/OQF/OCS work of concurrently in-flight queries into shared
+executor waves.  Plan sets are signature-identical to single-shot
+:class:`~repro.chase.optimizer.CBOptimizer` runs.
+
+Modules
+-------
+``service``
+    The façade: admission, routing, futures, lifecycle.
+``shard``
+    Warm per-catalog sessions + request runner threads per shard.
+``scheduler``
+    The cross-query wave batching scheduler and its executor adapter.
+``metrics``
+    Per-request/shard/service accounting and latency percentiles.
+"""
+
+from repro.service.metrics import RequestMetrics, ServiceStats, ShardStats, percentile
+from repro.service.scheduler import SERVICE_EXECUTORS, ScheduledPool, WaveScheduler
+from repro.service.service import OptimizerService, ServiceRequest, ServiceResponse
+from repro.service.shard import Shard, ShardSession, shard_index
+
+__all__ = [
+    "OptimizerService",
+    "RequestMetrics",
+    "SERVICE_EXECUTORS",
+    "ScheduledPool",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
+    "Shard",
+    "ShardSession",
+    "ShardStats",
+    "WaveScheduler",
+    "percentile",
+    "shard_index",
+]

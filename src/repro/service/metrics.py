@@ -1,0 +1,176 @@
+"""Metrics for the long-lived optimizer service.
+
+Everything the service reports — per-request latencies, per-shard cache and
+batching counters, service-wide aggregates — lives here, together with the
+tiny percentile helper the benchmarks use for p50/p95 latency.  All
+collectors are thread-safe: requests complete on shard runner threads and
+read-side calls (``OptimizerService.stats()``) can arrive concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1]).
+
+    Returns 0.0 on an empty input so latency summaries degrade gracefully
+    before any request completed.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class RequestMetrics:
+    """Per-request accounting attached to every :class:`ServiceResponse`.
+
+    ``cache_hits`` / ``cache_misses`` are deltas of the session's registry
+    counters across the request's runtime.  With ``max_inflight > 1``,
+    concurrent requests against the *same* catalog share that registry, so
+    the deltas are best-effort attribution (they may include a concurrent
+    sibling's activity); the :class:`ShardStats` aggregates are always
+    exact.  Run single-inflight when per-request numbers must be precise.
+    """
+
+    request_id: object
+    shard: int
+    session: str
+    strategy: str
+    latency: float
+    plan_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timed_out: bool = False
+    error: str | None = None
+
+
+@dataclass
+class ShardStats:
+    """One shard's snapshot: sessions, requests, batching and cache state."""
+
+    shard: int
+    sessions: int
+    sessions_evicted: int
+    requests: int
+    waves: int
+    batched_items: int
+    cross_request_waves: int
+    cache_caches: int
+    cache_entries: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+
+    @property
+    def cache_hit_rate(self):
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide snapshot returned by :meth:`OptimizerService.stats`.
+
+    ``latencies`` (and therefore the percentiles) cover the collector's
+    most recent bounded window; ``requests``/``errors`` are exact totals.
+    """
+
+    shards: list = field(default_factory=list)
+    requests: int = 0
+    errors: int = 0
+    latencies: list = field(default_factory=list, repr=False)
+
+    @property
+    def cache_hits(self):
+        return sum(shard.cache_hits for shard in self.shards)
+
+    @property
+    def cache_misses(self):
+        return sum(shard.cache_misses for shard in self.shards)
+
+    @property
+    def cache_evictions(self):
+        return sum(shard.cache_evictions for shard in self.shards)
+
+    @property
+    def cache_hit_rate(self):
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def waves(self):
+        return sum(shard.waves for shard in self.shards)
+
+    @property
+    def cross_request_waves(self):
+        return sum(shard.cross_request_waves for shard in self.shards)
+
+    @property
+    def p50_latency(self):
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p95_latency(self):
+        return percentile(self.latencies, 0.95)
+
+    def as_dict(self):
+        """JSON-friendly summary (the CLI's ``serve``/``batch`` print this)."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "shards": len(self.shards),
+            "sessions": sum(shard.sessions for shard in self.shards),
+            "sessions_evicted": sum(shard.sessions_evicted for shard in self.shards),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "waves": self.waves,
+            "cross_request_waves": self.cross_request_waves,
+            "p50_latency_s": round(self.p50_latency, 6),
+            "p95_latency_s": round(self.p95_latency, 6),
+        }
+
+
+class MetricsCollector:
+    """Thread-safe accumulator for completed-request metrics.
+
+    Latencies are kept in a bounded ring buffer (``max_samples``, default
+    4096): a long-lived service must not grow per-request state without
+    bound, so the percentiles describe the most recent window while the
+    request/error totals stay exact.
+    """
+
+    def __init__(self, max_samples=4096):
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=max_samples)
+        self._requests = 0
+        self._errors = 0
+
+    def record(self, metrics):
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(metrics.latency)
+            if metrics.error is not None:
+                self._errors += 1
+
+    def snapshot(self):
+        """Return ``(requests, errors, recent latencies)`` as copies."""
+        with self._lock:
+            return self._requests, self._errors, list(self._latencies)
+
+
+__all__ = [
+    "MetricsCollector",
+    "RequestMetrics",
+    "ServiceStats",
+    "ShardStats",
+    "percentile",
+]

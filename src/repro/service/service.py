@@ -1,0 +1,274 @@
+"""The long-lived optimizer service: sharded multi-query C&B serving.
+
+:class:`OptimizerService` turns the library-call optimizer into a serving
+layer:
+
+* **Warm state.**  Worker pools and per-catalog chase caches are created
+  once and kept alive across ``submit`` calls, so the second request against
+  a catalog pays neither pool startup nor re-chasing (every chase fixpoint —
+  the input query's, the backchase candidates', the OQF fragments', the OCS
+  stages' — is memoised per constraint set and reused).
+* **Sharding.**  Requests are routed by the signature of their constraint
+  set (:func:`~repro.service.shard.shard_index`), so one catalog's traffic
+  always lands on the same shard — and therefore the same warm caches —
+  while distinct catalogs spread over the shard pool.
+* **Cross-query wave batching.**  Within a shard, the backchase wave chunks
+  and OQF/OCS stage tasks of *all* in-flight requests are coalesced into
+  shared executor waves by the shard's
+  :class:`~repro.service.scheduler.WaveScheduler`; payloads carry the
+  request id and outcomes demultiplex back to per-request futures.
+
+Plan sets are signature-identical to a fresh
+:class:`~repro.chase.optimizer.CBOptimizer` run with the same knobs: the
+service reuses the exact engine code paths, shares only per-constraint-set
+chase fixpoints (which are deterministic), and never reorders any
+plan-producing merge.  The test suite and the ``serve-smoke`` target assert
+this end to end.
+
+Usage::
+
+    from repro.service import OptimizerService
+
+    with OptimizerService(shards=2, workers=2) as service:
+        future = service.submit(workload.query, catalog=workload.catalog)
+        response = future.result()
+        print(response.result.plan_count, service.stats().cache_hit_rate)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.chase.optimizer import STRATEGIES
+from repro.service.metrics import MetricsCollector, ServiceStats
+from repro.service.shard import Shard, shard_index
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted optimization request.
+
+    Either ``catalog`` or an explicit ``constraints`` list must be given
+    (mirroring :class:`~repro.chase.optimizer.CBOptimizer`); OQF needs the
+    catalog's skeletons, so strategy ``"oqf"`` requires ``catalog``.
+    """
+
+    query: object
+    strategy: str = "fb"
+    catalog: object = None
+    constraints: list | None = None
+    timeout: float | None = None
+    request_id: object = None
+
+    def resolved_constraints(self):
+        """The dependency set the request will be chased under (for routing)."""
+        if self.constraints is not None:
+            return list(self.constraints)
+        return list(self.catalog.constraints())
+
+    def validate(self):
+        if self.catalog is None and self.constraints is None:
+            raise ValueError("ServiceRequest needs a catalog or an explicit constraint list")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+
+
+@dataclass
+class ServiceResponse:
+    """What a request's future resolves to.
+
+    ``result`` is the engine's :class:`~repro.chase.optimizer.OptimizationResult`
+    (``None`` on error); ``metrics`` the per-request service accounting.
+    """
+
+    request_id: object
+    result: object = None
+    metrics: object = None
+    error: str | None = None
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def raise_for_error(self):
+        """Re-raise the request's failure, if any (returns self otherwise)."""
+        if self.error is not None:
+            raise RuntimeError(f"request {self.request_id!r} failed: {self.error}")
+        return self
+
+
+@dataclass
+class _PendingRequest:
+    """Book-keeping pairing an admitted request with its future."""
+
+    request: ServiceRequest
+    future: Future = field(default_factory=Future)
+
+
+class OptimizerService:
+    """Long-lived, sharded, cache-warm C&B optimizer service.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent shards (scheduler + runner pool + sessions
+        each).  Catalogs are spread over shards deterministically.
+    executor:
+        ``"threads"`` (default) or ``"serial"`` — the wave executor of every
+        shard's scheduler.  Process pools are rejected: detached workers
+        cannot share the warm caches that justify the service.
+    workers:
+        Worker threads per shard scheduler (``None`` = CPU count).
+    max_inflight:
+        Concurrently executing requests per shard; more in-flight requests
+        mean more cross-query batching opportunities.
+    batch_window / max_batch:
+        Wave coalescing knobs (see
+        :class:`~repro.service.scheduler.WaveScheduler`).
+    max_cache_entries:
+        LRU bound for every per-constraint-set chase cache (``None`` =
+        unbounded; set this for long-lived deployments).
+    max_sessions:
+        LRU bound on warm sessions per shard (``None`` = unbounded; set
+        this too for long-lived deployments serving many distinct
+        catalogs).
+    default_timeout:
+        Per-request wall-clock budget applied when a request carries none.
+    """
+
+    def __init__(
+        self,
+        shards=1,
+        executor="threads",
+        workers=None,
+        max_inflight=4,
+        batch_window=0.001,
+        max_batch=64,
+        max_cache_entries=None,
+        max_sessions=None,
+        default_timeout=None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        self.default_timeout = default_timeout
+        self._shards = [
+            Shard(
+                shard_id,
+                executor=executor,
+                workers=workers,
+                max_inflight=max_inflight,
+                batch_window=batch_window,
+                max_batch=max_batch,
+                max_cache_entries=max_cache_entries,
+                max_sessions=max_sessions,
+            )
+            for shard_id in range(shards)
+        ]
+        self._metrics = MetricsCollector()
+        self._request_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        query,
+        strategy="fb",
+        catalog=None,
+        constraints=None,
+        timeout=None,
+        request_id=None,
+    ):
+        """Admit one request; returns a Future of :class:`ServiceResponse`.
+
+        The future always resolves to a response — engine failures are
+        reported on ``response.error`` rather than raised, so a JSONL batch
+        over a mixed workload degrades per-request instead of aborting.
+        """
+        request = ServiceRequest(
+            query=query,
+            strategy=strategy,
+            catalog=catalog,
+            constraints=constraints,
+            timeout=timeout if timeout is not None else self.default_timeout,
+            request_id=request_id if request_id is not None else next(self._request_ids),
+        )
+        request.validate()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("OptimizerService is shut down")
+            shard = self._shards[shard_index(request.resolved_constraints(), len(self._shards))]
+        pending = _PendingRequest(request)
+        shard.submit(request, self._make_resolver(pending))
+        return pending.future
+
+    def submit_many(self, requests):
+        """Admit a batch (iterable of dicts or :class:`ServiceRequest` field
+        mappings) and wait for all; returns responses in submission order."""
+        futures = [
+            self.submit(**(request if isinstance(request, dict) else vars(request)))
+            for request in requests
+        ]
+        return [future.result() for future in futures]
+
+    def _make_resolver(self, pending):
+        def on_done(request, result, metrics, exc):
+            self._metrics.record(metrics)
+            pending.future.set_result(
+                ServiceResponse(
+                    request_id=request.request_id,
+                    result=result,
+                    metrics=metrics,
+                    error=None if exc is None else str(exc),
+                )
+            )
+
+        return on_done
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_count(self):
+        return len(self._shards)
+
+    def shard_for(self, catalog=None, constraints=None):
+        """The shard index a catalog/constraint set routes to (for tests)."""
+        deps = list(constraints) if constraints is not None else list(catalog.constraints())
+        return shard_index(deps, len(self._shards))
+
+    def stats(self):
+        """Service-wide snapshot: shards, caches, batching, latencies."""
+        requests, errors, latencies = self._metrics.snapshot()
+        return ServiceStats(
+            shards=[shard.stats() for shard in self._shards],
+            requests=requests,
+            errors=errors,
+            latencies=latencies,
+        )
+
+    def shutdown(self, wait=True):
+        """Drain every shard and release the pools (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            shard.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+        return False
+
+
+__all__ = ["OptimizerService", "ServiceRequest", "ServiceResponse"]

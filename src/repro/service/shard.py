@@ -1,0 +1,221 @@
+"""Shards: warm per-catalog sessions plus a request runner pool.
+
+A shard is the unit of placement in the optimizer service: it owns one
+:class:`~repro.service.scheduler.WaveScheduler` (persistent worker pool +
+cross-query wave batching), a small pool of *runner* threads that execute
+whole requests, and a registry of :class:`ShardSession` objects — one per
+distinct constraint-set signature routed to the shard.  A session holds the
+warm :class:`~repro.chase.implication.ChaseCacheRegistry` whose chase
+fixpoints survive across requests; since the admission layer routes a
+catalog to the same shard every time, the second request against a catalog
+finds the first one's fixpoints already cached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.chase.implication import ChaseCacheRegistry, constraint_signature
+from repro.chase.optimizer import CBOptimizer
+from repro.service.metrics import RequestMetrics, ShardStats
+from repro.service.scheduler import ScheduledPool, WaveScheduler
+
+
+def shard_index(constraints, shard_count):
+    """Deterministically map a constraint set to a shard.
+
+    Uses a CRC over the sorted dependency names so the placement is stable
+    across processes and runs (``hash()`` is salted per process).
+    """
+    digest = zlib.crc32("|".join(sorted(dep.name for dep in constraints)).encode("utf-8"))
+    return digest % max(1, shard_count)
+
+
+def session_label(constraints):
+    """Short human-readable identity for a session (stats / JSONL output)."""
+    names = sorted(dep.name for dep in constraints)
+    digest = zlib.crc32("|".join(names).encode("utf-8"))
+    return f"{len(names)}c-{digest:08x}"
+
+
+@dataclass
+class ShardSession:
+    """Warm per-constraint-set state kept alive between requests."""
+
+    label: str
+    signature: object
+    registry: ChaseCacheRegistry
+    requests: int = 0
+    created_at: float = field(default_factory=time.monotonic)
+
+
+class Shard:
+    """One shard: scheduler + runner threads + warm sessions.
+
+    Parameters
+    ----------
+    shard_id:
+        Position in the service's shard list (also reported in stats).
+    executor / workers / batch_window / max_batch:
+        Forwarded to the shard's :class:`WaveScheduler`.
+    max_inflight:
+        Runner threads, i.e. how many requests the shard executes
+        concurrently (their wave chunks interleave on the scheduler — this
+        is what creates cross-request waves).
+    max_cache_entries:
+        LRU bound applied to every per-constraint-set
+        :class:`~repro.chase.implication.ChaseCache` of every session
+        (``None`` = unbounded).
+    max_sessions:
+        LRU bound on warm sessions per shard (``None`` = unbounded).  A
+        long-lived service receiving many distinct catalogs would otherwise
+        accumulate one session (and its cache registry) per configuration
+        forever.  Eviction only unlinks the session from the shard — a
+        request already running against it keeps its own reference and
+        completes safely; the next request for that catalog simply starts
+        cold again.
+    """
+
+    def __init__(
+        self,
+        shard_id,
+        executor="threads",
+        workers=None,
+        max_inflight=4,
+        batch_window=0.001,
+        max_batch=64,
+        max_cache_entries=None,
+        max_sessions=None,
+    ):
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1 or None, got {max_sessions!r}")
+        self.shard_id = shard_id
+        self.max_cache_entries = max_cache_entries
+        self.max_sessions = max_sessions
+        self.scheduler = WaveScheduler(
+            executor=executor,
+            workers=workers,
+            batch_window=batch_window,
+            max_batch=max_batch,
+        )
+        self._runner = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix=f"svc-shard{shard_id}"
+        )
+        self._sessions = OrderedDict()
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._sessions_evicted = 0
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def session_for(self, constraints):
+        """Return (creating on first use) the session for ``constraints``."""
+        signature = constraint_signature(constraints)
+        with self._lock:
+            session = self._sessions.get(signature)
+            if session is None:
+                session = ShardSession(
+                    label=session_label(constraints),
+                    signature=signature,
+                    registry=ChaseCacheRegistry(max_entries=self.max_cache_entries),
+                )
+                self._sessions[signature] = session
+                while self.max_sessions is not None and len(self._sessions) > self.max_sessions:
+                    self._sessions.popitem(last=False)
+                    self._sessions_evicted += 1
+            else:
+                self._sessions.move_to_end(signature)
+            return session
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def submit(self, request, on_done):
+        """Run ``request`` on a runner thread; resolve through ``on_done``."""
+        with self._lock:
+            self._requests += 1
+        return self._runner.submit(self._execute, request, on_done)
+
+    def _execute(self, request, on_done):
+        start = time.perf_counter()
+        session = None
+        try:
+            constraints = request.resolved_constraints()
+            session = self.session_for(constraints)
+            with self._lock:
+                session.requests += 1
+            stats_before = session.registry.stats()
+            optimizer = CBOptimizer(
+                catalog=request.catalog,
+                constraints=request.constraints,
+                timeout=request.timeout,
+                cache_registry=session.registry,
+                pool=ScheduledPool(self.scheduler, request.request_id),
+            )
+            result = optimizer.optimize(request.query, strategy=request.strategy)
+            registry_stats = session.registry.stats()
+            metrics = RequestMetrics(
+                request_id=request.request_id,
+                shard=self.shard_id,
+                session=session.label,
+                strategy=request.strategy,
+                latency=time.perf_counter() - start,
+                plan_count=result.plan_count,
+                cache_hits=registry_stats["hits"] - stats_before["hits"],
+                cache_misses=registry_stats["misses"] - stats_before["misses"],
+                timed_out=result.timed_out,
+            )
+            on_done(request, result, metrics, None)
+        except Exception as exc:  # noqa: BLE001 - reported on the response
+            metrics = RequestMetrics(
+                request_id=request.request_id,
+                shard=self.shard_id,
+                session=session.label if session is not None else "",
+                strategy=request.strategy,
+                latency=time.perf_counter() - start,
+                error=str(exc),
+            )
+            on_done(request, None, metrics, exc)
+
+    # ------------------------------------------------------------------ #
+    # stats / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self):
+        """Snapshot this shard's sessions, batching and cache counters."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            requests = self._requests
+            sessions_evicted = self._sessions_evicted
+        scheduler = self.scheduler.stats()
+        cache = {"caches": 0, "entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+        for session in sessions:
+            for key, value in session.registry.stats().items():
+                cache[key] += value
+        return ShardStats(
+            shard=self.shard_id,
+            sessions=len(sessions),
+            sessions_evicted=sessions_evicted,
+            requests=requests,
+            waves=scheduler.waves,
+            batched_items=scheduler.items,
+            cross_request_waves=scheduler.cross_request_waves,
+            cache_caches=cache["caches"],
+            cache_entries=cache["entries"],
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_evictions=cache["evictions"],
+        )
+
+    def shutdown(self, wait=True):
+        """Drain the runner pool, then stop the scheduler (idempotent)."""
+        self._runner.shutdown(wait=wait)
+        self.scheduler.shutdown(wait=wait)
+
+
+__all__ = ["Shard", "ShardSession", "session_label", "shard_index"]

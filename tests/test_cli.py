@@ -1,10 +1,11 @@
 """Tests for the command-line experiment runner."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, _resolve_workers, build_parser, main
 
 
 class TestParser:
@@ -63,3 +64,109 @@ class TestMain:
             == 0
         )
         assert "plans for EC2" in out.getvalue()
+
+
+class TestWorkersResolution:
+    """Regression: `--executor serial` with an omitted `--workers` used to
+    fall through to CPU-count semantics (workers=None); serial always means
+    exactly one worker."""
+
+    def test_serial_defaults_to_one_worker(self):
+        assert _resolve_workers(None, "serial") == 1
+
+    def test_pooled_executors_default_to_cpu_count(self):
+        assert _resolve_workers(None, "threads") is None
+        assert _resolve_workers(None, "processes") is None
+
+    def test_explicit_workers_win(self):
+        assert _resolve_workers(3, "serial") == 3
+        assert _resolve_workers(5, "processes") == 5
+
+    def test_optimize_with_explicit_serial_reports_one_worker(self):
+        out = io.StringIO()
+        assert (
+            main(
+                ["optimize", "ec1", "--relations", "2", "--executor", "serial"],
+                out=out,
+            )
+            == 0
+        )
+        assert "executor serial x1" in out.getvalue()
+
+
+class TestServiceCommands:
+    """The JSONL serving commands (`batch` / `serve`)."""
+
+    REQUESTS = [
+        {"id": "a", "workload": "ec1", "params": {"relations": 2}, "strategy": "fb"},
+        {"id": "b", "workload": "ec2", "params": {"stars": 1, "corners": 3, "views": 1}},
+        {"id": "a2", "workload": "ec1", "params": {"relations": 2}, "strategy": "fb"},
+    ]
+
+    def _write_requests(self, tmp_path, requests=None):
+        path = tmp_path / "requests.jsonl"
+        lines = [json.dumps(record) for record in (requests or self.REQUESTS)]
+        path.write_text("# comment line\n" + "\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def _read_results(self, path):
+        return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+    def test_batch_roundtrip_preserves_input_order(self, tmp_path):
+        requests = self._write_requests(tmp_path)
+        results = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "batch",
+                "--input", str(requests),
+                "--output", str(results),
+                "--shards", "2",
+                # one request at a time per shard, so the repeat of "a" runs
+                # against a fully warm cache and the assertion is exact
+                "--max-inflight", "1",
+            ],
+        )
+        assert code == 0
+        records = self._read_results(results)
+        assert [record["id"] for record in records] == ["a", "b", "a2"]
+        assert all(record["status"] == "ok" for record in records)
+        # identical requests produce identical plan digests, warm or cold
+        assert records[0]["plan_digests"] == records[2]["plan_digests"]
+        assert records[2]["cache_misses"] == 0
+
+    def test_batch_check_asserts_single_shot_equivalence(self, tmp_path):
+        requests = self._write_requests(tmp_path)
+        results = tmp_path / "results.jsonl"
+        code = main(
+            ["batch", "--input", str(requests), "--output", str(results), "--check", "--stats"],
+        )
+        assert code == 0
+        records = self._read_results(results)
+        assert all(record.get("matches_single_shot") for record in records[:-1])
+        assert records[-1]["stats"]["requests"] == 3
+
+    def test_batch_reports_bad_requests_and_exits_nonzero(self, tmp_path):
+        requests = self._write_requests(
+            tmp_path,
+            [
+                {"id": "good", "workload": "ec1", "params": {"relations": 2}},
+                {"id": "bad", "workload": "nope"},
+            ],
+        )
+        results = tmp_path / "results.jsonl"
+        code = main(["batch", "--input", str(requests), "--output", str(results)])
+        assert code == 1
+        records = self._read_results(results)
+        statuses = {record["id"]: record["status"] for record in records}
+        assert statuses["good"] == "ok"
+        assert [record for record in records if record["status"] == "error"]
+
+    def test_serve_streams_results(self, tmp_path):
+        requests = self._write_requests(tmp_path)
+        results = tmp_path / "results.jsonl"
+        code = main(["serve", "--input", str(requests), "--output", str(results)])
+        assert code == 0
+        records = self._read_results(results)
+        # streaming emits in completion order; all three must arrive
+        assert {record["id"] for record in records} == {"a", "b", "a2"}
+        assert all(record["status"] == "ok" for record in records)

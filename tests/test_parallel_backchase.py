@@ -17,6 +17,7 @@ from repro.chase.backchase import (
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    size_ordered_chunks,
 )
 from repro.chase.chase import chase
 from repro.chase.implication import ChaseCache
@@ -87,6 +88,72 @@ class TestSerialEquivalence:
             workload.query, strategy=strategy
         )
         assert _signatures(pooled) == _signatures(baseline)
+
+
+class TestSizeOrderedChunking:
+    """Waves are split by estimated chase size (LPT), not round-robin."""
+
+    def test_chunks_are_size_balanced_and_deterministic(self):
+        keys = [
+            frozenset({"a", "b", "c", "d"}),
+            frozenset({"e"}),
+            frozenset({"f", "g", "h"}),
+            frozenset({"i", "j"}),
+            frozenset({"k", "l", "m", "n", "o"}),
+        ]
+        chunks = size_ordered_chunks(keys, 2)
+        assert chunks == size_ordered_chunks(list(reversed(keys)), 2)
+        # largest subsets are dealt first, round-robin over the buckets
+        assert chunks[0][0] == frozenset({"k", "l", "m", "n", "o"})
+        assert chunks[1][0] == frozenset({"a", "b", "c", "d"})
+        flattened = [key for chunk in chunks for key in chunk]
+        assert sorted(flattened, key=sorted) == sorted(keys, key=sorted)
+
+    def test_never_more_chunks_than_buckets_or_items(self):
+        keys = [frozenset({"a"}), frozenset({"b"})]
+        assert len(size_ordered_chunks(keys, 8)) == 2
+        assert size_ordered_chunks([], 4) == []
+
+    def test_chunk_policy_recorded_on_result(self):
+        workload = build_ec2(1, 3, 1)
+        constraints, universal = _chased(workload)
+        threaded = ParallelBackchase(
+            workload.query, constraints, executor="threads", workers=2
+        ).run(universal)
+        assert threaded.chunk_policy == "size-ordered"
+        inline = ParallelBackchase(workload.query, constraints).run(universal)
+        assert inline.chunk_policy == "inline"
+
+
+class TestSharedChaseCache:
+    def test_warm_cache_reuse_preserves_plan_sets(self):
+        """A second run over a warm shared cache chases nothing and matches."""
+        workload = build_ec2(1, 3, 2)
+        constraints, universal = _chased(workload)
+        shared = ChaseCache(constraints)
+        cold = FullBackchase(workload.query, constraints, chase_cache=shared).run(universal)
+        assert cold.cache_misses > 0
+        warm = FullBackchase(workload.query, constraints, chase_cache=shared).run(universal)
+        assert _signatures(warm) == _signatures(cold)
+        assert warm.cache_misses == 0
+        wave = ParallelBackchase(
+            workload.query, constraints, executor="threads", workers=2, chase_cache=shared
+        ).run(universal)
+        assert _signatures(wave) == _signatures(cold)
+        assert wave.cache_misses == 0
+
+    def test_external_pool_is_not_closed(self):
+        workload = build_ec2(1, 3, 1)
+        constraints, universal = _chased(workload)
+        pool = make_executor("threads", workers=2)
+        try:
+            first = ParallelBackchase(workload.query, constraints, pool=pool).run(universal)
+            # the pool survives the run and can serve another engine
+            second = ParallelBackchase(workload.query, constraints, pool=pool).run(universal)
+        finally:
+            pool.close()
+        assert _signatures(first) == _signatures(second)
+        assert first.executor == "threads"
 
 
 class TestExecutors:
