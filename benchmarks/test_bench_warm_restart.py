@@ -1,0 +1,89 @@
+"""Cache-persistence benchmark: warm restart + containment-memo hit rate.
+
+Runs the mixed EC1/EC2/EC3 request mix through a cold
+:class:`~repro.service.OptimizerService`, snapshots its warm sessions
+(chase-cache registries + containment memos) with ``save_caches``, loads the
+snapshot into a brand-new service and replays the same requests.  Three
+claims are checked and recorded into ``BENCH_PR5.json``:
+
+* **correctness** — the restarted service's plan sets are
+  signature-identical to the cold ones (hard assertion: persistence must
+  never change a plan);
+* **memoisation** — the containment memo actually fires: the cold life's
+  within-run memo hit rate is > 0 (rounds after the first reuse the earlier
+  rounds' verdicts), and the restarted life answers essentially every
+  verdict from the loaded memo;
+* **restart speedup** — the restarted service finishes the 56-request
+  workload >= 1.2x faster than the cold start (asserted at the default
+  scale only; ``BENCH_QUICK=1`` shrinks to 3 rounds and records without the
+  assertion).
+"""
+
+import os
+
+from conftest import record_bench, report
+
+from repro.experiments.figures import warm_restart
+
+BENCH_FILE = "BENCH_PR5.json"
+
+
+def test_warm_restart(benchmark):
+    quick = bool(os.environ.get("BENCH_QUICK"))
+    repeats = 3 if quick else 8  # 8 x 7-config mix = 56 requests
+    result = benchmark.pedantic(
+        warm_restart,
+        kwargs={"repeats": repeats, "shards": 2, "workers": 2, "timeout": 60},
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    measurement = result.measurement
+
+    # Correctness: a restarted server never changes a plan set.
+    assert measurement.plans_match
+    assert measurement.errors == 0
+
+    # The containment memo fires within the cold life (cross-request reuse)
+    # and dominates the restarted life (cross-process reuse).
+    assert measurement.memo_hit_rate_cold > 0
+    assert measurement.memo_hits_restart > 0
+
+    if not quick:
+        assert measurement.request_count >= 50
+        # The acceptance bar: loading the snapshot must beat redoing the
+        # chases and containment searches by >= 1.2x on this container.
+        assert measurement.speedup >= 1.2, (
+            f"warm-restart speedup {measurement.speedup:.2f}x < 1.2x "
+            f"(cold {measurement.cold_seconds:.2f}s, "
+            f"restarted {measurement.restart_seconds:.2f}s)"
+        )
+        assert measurement.memo_hit_rate_restart > 0.9
+        assert measurement.cache_hit_rate_restart > 0.9
+
+    record_bench(
+        "warm_restart",
+        wall_clock=measurement.cold_seconds + measurement.restart_seconds,
+        counters={
+            "requests": measurement.request_count,
+            "distinct_configs": measurement.distinct_configs,
+            "shards": measurement.shards,
+            "workers": measurement.workers,
+            "cold_seconds": round(measurement.cold_seconds, 3),
+            "restart_seconds": round(measurement.restart_seconds, 3),
+            "speedup_restart_vs_cold": round(measurement.speedup, 3),
+            "cache_hit_rate_cold": round(measurement.cache_hit_rate_cold, 4),
+            "memo_hit_rate_cold": round(measurement.memo_hit_rate_cold, 4),
+            "cache_hit_rate_restart": round(measurement.cache_hit_rate_restart, 4),
+            "memo_hit_rate_restart": round(measurement.memo_hit_rate_restart, 4),
+            "memo_hits_cold": measurement.memo_hits_cold,
+            "memo_hits_restart": measurement.memo_hits_restart,
+            "sessions_saved": measurement.sessions_saved,
+            "snapshot_bytes": measurement.snapshot_bytes,
+            "plans_match": measurement.plans_match,
+            "quick_mode": quick,
+        },
+        result=result,
+        bench_file=BENCH_FILE,
+        cpu_count=os.cpu_count(),
+    )

@@ -38,10 +38,17 @@ from repro.errors import (
     QueryError,
     ReproError,
     SchemaError,
+    ServiceOverloaded,
 )
 from repro.schema.catalog import Catalog, Statistics
 from repro.schema.constraints import Dependency, Skeleton
-from repro.service import OptimizerService, ServiceRequest, ServiceResponse
+from repro.service import (
+    OptimizerClient,
+    OptimizerServer,
+    OptimizerService,
+    ServiceRequest,
+    ServiceResponse,
+)
 from repro.workloads import build_ec1, build_ec2, build_ec3
 
 __version__ = "0.1.0"
@@ -57,6 +64,8 @@ __all__ = [
     "Dependency",
     "ExecutionError",
     "OptimizationResult",
+    "OptimizerClient",
+    "OptimizerServer",
     "OptimizerService",
     "PCQuery",
     "ParseError",
@@ -64,6 +73,7 @@ __all__ = [
     "QueryError",
     "ReproError",
     "SchemaError",
+    "ServiceOverloaded",
     "ServiceRequest",
     "ServiceResponse",
     "Skeleton",

@@ -110,7 +110,7 @@ class BackchaseTimeout(Exception):
 # ---------------------------------------------------------------------- #
 # the equivalence check shared by both engines
 # ---------------------------------------------------------------------- #
-def _check_equivalence(original, universal_plan, subquery, cache, stats, deadline=None):
+def _check_equivalence(original, universal_plan, subquery, cache, stats, deadline=None, memo=None):
     """Return ``True`` when ``subquery`` is equivalent to ``original``.
 
     Direction 1: the subquery is contained in the original under the
@@ -120,10 +120,21 @@ def _check_equivalence(original, universal_plan, subquery, cache, stats, deadlin
     original and the subquery maps into it by construction of the
     restriction), so it is checked cheaply against the universal plan itself.
 
+    ``memo`` is an optional :class:`~repro.cq.memo.ContainmentMemo`: both
+    containment searches then go through it, so a warm service request whose
+    (subquery, fixpoint) pairs were already decided by an earlier request
+    skips the homomorphism searches entirely.  Memo hits do not add to
+    ``stats`` — the saved search effort is exactly what the serving metrics
+    measure.
+
     Raises :class:`~repro.errors.ChaseTimeout` when ``deadline`` expires
     during the cache-miss chase.
     """
     chased = cache.chase(subquery, deadline=deadline)
+    if memo is not None:
+        if not memo.check(original, chased, stats=stats):
+            return False
+        return memo.check(subquery, universal_plan, stats=stats)
     if not _has_containment_mapping(original, chased, stats=stats):
         return False
     return _has_containment_mapping(subquery, universal_plan, stats=stats)
@@ -162,14 +173,29 @@ class FullBackchase:
         *same* dependency set; the engine creates a private one when omitted.
         The optimizer service passes a per-constraint-set cache here so chase
         fixpoints survive across requests.
+    containment_memo:
+        Optional shared :class:`~repro.cq.memo.ContainmentMemo`; when given,
+        every containment search of the equivalence checks is memoised by
+        canonical query-pair signature, so repeated requests skip the
+        homomorphism searches as well as the chases.  Verdicts are
+        constraint-independent, so one memo is safely shared across sessions.
     """
 
-    def __init__(self, original, dependencies, timeout=None, strategy_label="fb", chase_cache=None):
+    def __init__(
+        self,
+        original,
+        dependencies,
+        timeout=None,
+        strategy_label="fb",
+        chase_cache=None,
+        containment_memo=None,
+    ):
         self.original = original
         self.dependencies = list(dependencies)
         self.timeout = timeout
         self.strategy_label = strategy_label
         self.chase_cache = chase_cache if chase_cache is not None else ChaseCache(self.dependencies)
+        self.containment_memo = containment_memo
 
     # ------------------------------------------------------------------ #
     # public API
@@ -252,7 +278,13 @@ class FullBackchase:
         state.equivalence_checks += 1
         try:
             equivalent = _check_equivalence(
-                self.original, universal_plan, subquery, self.chase_cache, state.stats, state.deadline
+                self.original,
+                universal_plan,
+                subquery,
+                self.chase_cache,
+                state.stats,
+                state.deadline,
+                memo=self.containment_memo,
             )
         except ChaseTimeout:
             raise BackchaseTimeout()
@@ -349,13 +381,15 @@ def _counters_copy(counters):
     return fresh
 
 
-def _evaluate_chunk(context, keys, deadline, cache, export_cache=False):
+def _evaluate_chunk(context, keys, deadline, cache, export_cache=False, memo=None):
     """Evaluate the equivalence checks for ``keys`` against ``context``.
 
     Runs in the coordinating process (serial / thread executors, sharing the
     engine's cache) or in a worker process (with a worker-local cache and
     ``export_cache=True``).  Respects ``deadline``; a chunk that runs out of
     budget returns the verdicts computed so far with ``timed_out=True``.
+    ``memo`` is the optional shared containment memo (see
+    :func:`_check_equivalence`); worker processes keep their own.
 
     Cache accounting (hit/miss/counter deltas, new entries) is only
     meaningful — and only computed — for detached worker caches: against a
@@ -380,7 +414,13 @@ def _evaluate_chunk(context, keys, deadline, cache, export_cache=False):
         outcome.equivalence_checks += 1
         try:
             equivalent = _check_equivalence(
-                context.original, context.universal_plan, subquery, cache, outcome.stats, deadline
+                context.original,
+                context.universal_plan,
+                subquery,
+                cache,
+                outcome.stats,
+                deadline,
+                memo=memo,
             )
         except ChaseTimeout:
             outcome.timed_out = True
@@ -435,14 +475,15 @@ class SerialExecutor:
     def __init__(self, workers=None):
         self.workers = 1
 
-    def start(self, context, cache):
+    def start(self, context, cache, memo=None):
         self._context = context
         self._cache = cache
+        self._memo = memo
 
     def run_wave(self, keys, deadline, seed_entries=None):
         # seed_entries is ignored: the chunk evaluates against the shared
         # cache, which already holds everything the coordinator merged.
-        return [_evaluate_chunk(self._context, keys, deadline, self._cache)]
+        return [_evaluate_chunk(self._context, keys, deadline, self._cache, memo=self._memo)]
 
     def map(self, fn, payloads):
         return [fn(payload) for payload in payloads]
@@ -470,15 +511,18 @@ class ThreadExecutor:
         self.workers = resolve_worker_count(workers)
         self._pool = ThreadPoolExecutor(max_workers=self.workers, thread_name_prefix="backchase")
 
-    def start(self, context, cache):
+    def start(self, context, cache, memo=None):
         self._context = context
         self._cache = cache
+        self._memo = memo
 
     def run_wave(self, keys, deadline, seed_entries=None):
         # seed_entries is ignored: every chunk shares the coordinator's cache.
         chunks = size_ordered_chunks(keys, self.workers)
         futures = [
-            self._pool.submit(_evaluate_chunk, self._context, chunk, deadline, self._cache)
+            self._pool.submit(
+                _evaluate_chunk, self._context, chunk, deadline, self._cache, memo=self._memo
+            )
             for chunk in chunks
         ]
         return [future.result() for future in futures]
@@ -496,18 +540,24 @@ _PROCESS_STATE = None
 
 def _init_process_worker(context):
     global _PROCESS_STATE
-    _PROCESS_STATE = (context, ChaseCache(context.dependencies, **context.chase_kwargs))
+    from repro.cq.memo import ContainmentMemo
+
+    _PROCESS_STATE = (
+        context,
+        ChaseCache(context.dependencies, **context.chase_kwargs),
+        ContainmentMemo(),
+    )
 
 
 def _process_chunk(payload):
     keys, deadline, seed_entries = payload
-    context, cache = _PROCESS_STATE
+    context, cache, memo = _PROCESS_STATE
     if seed_entries:
         # Entries other workers chased in earlier waves, relayed by the
         # coordinator.  Merged before the chunk's export marker is taken, so
         # they are not shipped back again.
         cache.merge_exported(seed_entries)
-    return _evaluate_chunk(context, keys, deadline, cache, export_cache=True)
+    return _evaluate_chunk(context, keys, deadline, cache, export_cache=True, memo=memo)
 
 
 class ProcessExecutor:
@@ -530,7 +580,10 @@ class ProcessExecutor:
         self._pool = None
         self._map_pool = None
 
-    def start(self, context, cache):
+    def start(self, context, cache, memo=None):
+        # ``memo`` is accepted for protocol uniformity but not shipped to the
+        # workers: each keeps a worker-local memo (like its worker-local
+        # cache) — verdicts are cheap to recompute and never merged back.
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers, initializer=_init_process_worker, initargs=(context,)
         )
@@ -605,6 +658,10 @@ class ParallelBackchase:
     chase_cache:
         Optional shared (possibly warm) :class:`ChaseCache` built for the
         same dependency set, as for :class:`FullBackchase`.
+    containment_memo:
+        Optional shared :class:`~repro.cq.memo.ContainmentMemo`, as for
+        :class:`FullBackchase`; handed to the pool alongside the cache so
+        every chunk's containment searches are memoised.
     """
 
     def __init__(
@@ -617,6 +674,7 @@ class ParallelBackchase:
         workers=None,
         pool=None,
         chase_cache=None,
+        containment_memo=None,
     ):
         if pool is None and executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
@@ -628,6 +686,7 @@ class ParallelBackchase:
         self.workers = workers
         self.pool = pool
         self.chase_cache = chase_cache if chase_cache is not None else ChaseCache(self.dependencies)
+        self.containment_memo = containment_memo
 
     def run(self, universal_plan):
         """Enumerate the minimal equivalent subqueries of ``universal_plan``."""
@@ -652,7 +711,9 @@ class ParallelBackchase:
         owns_pool = self.pool is None
         pool = make_executor(self.executor, self.workers) if owns_pool else self.pool
         pool.start(
-            WaveContext(self.original, universal_plan, self.dependencies), self.chase_cache
+            WaveContext(self.original, universal_plan, self.dependencies),
+            self.chase_cache,
+            memo=self.containment_memo,
         )
         stats.chunk_policy = getattr(pool, "chunk_policy", pool.kind)
         # Cache entries already relayed to the workers (detached pools only):

@@ -26,8 +26,8 @@ import threading
 from collections import OrderedDict
 
 from repro.errors import ChaseTimeout
-from repro.cq.containment import outputs_match
-from repro.cq.homomorphism import find_homomorphism, find_homomorphisms
+from repro.cq.containment import has_containment_mapping
+from repro.cq.homomorphism import find_homomorphism
 from repro.cq.query import PCQuery
 from repro.lang.ast import Var, substitute
 from repro.chase.chase import ChaseCounters, ChaseResult, chase
@@ -209,6 +209,15 @@ class ChaseCache:
         """Merge another :class:`ChaseCache` (entries and accounting)."""
         self.merge_exported(other._cache, other.hits, other.misses, other.counters)
 
+    def reset_counters(self):
+        """Zero the accounting (entries stay).  Used when a persisted cache
+        is loaded into a fresh process, so stats describe the new life."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.counters = ChaseCounters()
+
 
 class ChaseCacheRegistry:
     """Warm :class:`ChaseCache` instances keyed by exact constraint set.
@@ -227,6 +236,15 @@ class ChaseCacheRegistry:
         self.max_entries = max_entries
         self.chase_kwargs = chase_kwargs
         self._caches = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
         self._lock = threading.Lock()
 
     def for_constraints(self, dependencies):
@@ -256,6 +274,52 @@ class ChaseCacheRegistry:
             "evictions": sum(cache.evictions for cache in caches),
         }
 
+    def reset_counters(self):
+        """Zero every cache's accounting (see :meth:`ChaseCache.reset_counters`)."""
+        with self._lock:
+            caches = list(self._caches.values())
+        for cache in caches:
+            cache.reset_counters()
+
+    # ------------------------------------------------------------------ #
+    # persistence (the service's warm-restart snapshots)
+    # ------------------------------------------------------------------ #
+    def save(self, path):
+        """Pickle the registry (every per-constraint-set cache) to ``path``.
+
+        The snapshot is taken under the registry lock; the individual caches
+        are pickled through their own ``__getstate__`` (locks stripped).  A
+        restarted process can :meth:`load` the file and serve its first
+        request against already-warm fixpoints.
+        """
+        import pickle
+
+        with self._lock:
+            payload = {"max_entries": self.max_entries, "caches": dict(self._caches)}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path, max_entries=None, **chase_kwargs):
+        """Rebuild a registry from a :meth:`save` snapshot.
+
+        ``max_entries`` overrides the snapshot's bound when given (a restart
+        may tighten or loosen the LRU limit); loaded caches over the new
+        bound evict down to it on their next insertion.
+        """
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        registry = cls(
+            max_entries=max_entries if max_entries is not None else payload["max_entries"],
+            **chase_kwargs,
+        )
+        for signature, cache in payload["caches"].items():
+            cache.max_entries = registry.max_entries
+            registry._caches[signature] = cache
+        return registry
+
 
 def contained_under(query, other, dependencies, chase_cache=None):
     """Return ``True`` when ``query ⊆ other`` under ``dependencies``.
@@ -279,14 +343,14 @@ def equivalent_under(query, other, dependencies, chase_cache=None):
 
 
 def _has_containment_mapping(source, target, stats=None):
-    """Check for an output-preserving homomorphism from ``source`` into ``target``."""
-    closure = target.congruence()
-    for mapping in find_homomorphisms(
-        source.bindings, source.conditions, target, target_closure=closure, stats=stats
-    ):
-        if outputs_match(source, target, mapping, target_closure=closure):
-            return True
-    return False
+    """Check for an output-preserving homomorphism from ``source`` into ``target``.
+
+    Kept as the chase layer's historical entry point; the implementation is
+    the shared :func:`repro.cq.containment.has_containment_mapping`, which is
+    also what :class:`~repro.cq.memo.ContainmentMemo` computes on a miss —
+    one search, one semantics, memoised or not.
+    """
+    return has_containment_mapping(source, target, stats=stats)
 
 
 def implies(dependencies, candidate, chase_cache=None):

@@ -142,6 +142,7 @@ class _StageTask:
     label: str
     request_id: object = None
     chase_cache: object = None
+    containment_memo: object = None
 
 
 @dataclass
@@ -187,6 +188,7 @@ def _run_stage_task(task):
         timeout=remaining,
         strategy_label=task.label,
         chase_cache=task.chase_cache,
+        containment_memo=task.containment_memo,
     )
     result = backchaser.run(chase_result.query)
     return _StageOutcome(
@@ -235,6 +237,13 @@ class CBOptimizer:
         per-call pools built from ``executor`` / ``workers``.  Never closed
         by this class; the service passes its long-lived, cross-query
         batching pool here.
+    containment_memo:
+        Optional shared :class:`~repro.cq.memo.ContainmentMemo`.  Verdicts
+        are independent of the constraint set (they compare two concrete
+        queries), so a single memo serves every strategy, fragment and
+        stage; the optimizer service shares one per catalog session, so warm
+        requests stop redoing the containment searches.  Like the warm chase
+        caches, it is never shipped onto pickled process-pool tasks.
     """
 
     def __init__(
@@ -246,6 +255,7 @@ class CBOptimizer:
         executor="serial",
         cache_registry=None,
         pool=None,
+        containment_memo=None,
     ):
         if catalog is None and constraints is None:
             raise ValueError("CBOptimizer needs a catalog or an explicit constraint list")
@@ -258,6 +268,7 @@ class CBOptimizer:
         self.executor = executor
         self.cache_registry = cache_registry
         self.pool = pool
+        self.containment_memo = containment_memo
 
     # ------------------------------------------------------------------ #
     # constraint access
@@ -346,6 +357,12 @@ class CBOptimizer:
             return None
         return self.cache_registry.for_constraints(constraints)
 
+    def _detached_stages(self):
+        """Whether fragment/stage tasks run on a detached (process) pool."""
+        if self.pool is not None:
+            return getattr(self.pool, "detached", False)
+        return self.executor == "processes"
+
     def _stage_task_cache(self, constraints):
         """The warm cache for a fragment/stage task, or ``None``.
 
@@ -353,14 +370,19 @@ class CBOptimizer:
         shared cache would be copied rather than shared — those tasks run
         with their own per-worker caches instead.
         """
-        detached = (
-            getattr(self.pool, "detached", False)
-            if self.pool is not None
-            else self.executor == "processes"
-        )
-        if detached:
+        if self._detached_stages():
             return None
         return self._stage_cache(constraints)
+
+    def _stage_task_memo(self):
+        """The shared containment memo for a stage task, or ``None``.
+
+        Same pickling rule as :meth:`_stage_task_cache`: never shipped to
+        detached process pools.
+        """
+        if self._detached_stages():
+            return None
+        return self.containment_memo
 
     def _chase(self, query, constraints, deadline):
         """Chase ``query``, through the warm cache registry when configured."""
@@ -380,6 +402,7 @@ class CBOptimizer:
                 strategy_label=label,
                 pool=self.pool,
                 chase_cache=chase_cache,
+                containment_memo=self.containment_memo,
             )
         if self.executor != "serial":
             return ParallelBackchase(
@@ -390,9 +413,15 @@ class CBOptimizer:
                 executor=self.executor,
                 workers=self.workers,
                 chase_cache=chase_cache,
+                containment_memo=self.containment_memo,
             )
         return FullBackchase(
-            original, constraints, timeout=timeout, strategy_label=label, chase_cache=chase_cache
+            original,
+            constraints,
+            timeout=timeout,
+            strategy_label=label,
+            chase_cache=chase_cache,
+            containment_memo=self.containment_memo,
         )
 
     def _make_stage_pool(self):
@@ -489,6 +518,7 @@ class CBOptimizer:
                     deadline,
                     "oqf",
                     chase_cache=self._stage_task_cache(fragment_constraints),
+                    containment_memo=self._stage_task_memo(),
                 )
             )
 
@@ -580,6 +610,7 @@ class CBOptimizer:
                         deadline,
                         "ocs",
                         chase_cache=stratum_cache,
+                        containment_memo=self._stage_task_memo(),
                     )
                     for stage_query in current
                 ]

@@ -11,31 +11,47 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli optimize ec2 --stars 2 --corners 3 --views 1 --strategy oqf --workers 4 --executor processes
     python -m repro.cli batch --input requests.jsonl --output results.jsonl --shards 2
     python -m repro.cli serve < requests.jsonl
+    python -m repro.cli serve --port 7411 --max-queue-depth 16 --snapshot warm.pkl
+    python -m repro.cli client --port 7411 --input requests.jsonl --check
 
 The ``fig*`` / ``plans-table`` commands print the same rows the corresponding
 figures and tables of the paper report; ``optimize`` runs a single optimizer
 invocation on one of the experimental configurations and prints the plans.
 
 ``batch`` and ``serve`` run the long-lived :mod:`repro.service` optimizer
-service over a JSONL stream of requests (see ``_decode_request`` for the
-schema, or the README's "Serving mode" section): ``batch`` reads the whole
-input, submits everything to the warm sharded service, and writes one result
-line per request in input order; ``serve`` streams — each input line is
-submitted as it is read and results are emitted as they complete.  With
-``--check``, every service response is re-verified against a fresh
-single-shot :class:`~repro.chase.optimizer.CBOptimizer` run and the process
-exits non-zero on any plan-set mismatch (the ``make serve-smoke`` target).
+service over a JSONL stream of requests (see
+:mod:`repro.service.protocol` for the schema, or the README's "Serving
+mode" section): ``batch`` reads the whole input, submits everything to the
+warm sharded service, and writes one result line per request in input
+order; ``serve`` streams — each input line is submitted as it is read and
+results are emitted as they complete.  With ``--port``, ``serve`` instead
+binds the TCP front end (:mod:`repro.service.server`) and serves the same
+protocol over sockets until SIGTERM/SIGINT (graceful drain; ``--snapshot``
+makes it come back warm after a restart); ``client`` pipes a JSONL file
+through a running server.  With ``--check``, every response is re-verified
+against a fresh single-shot :class:`~repro.chase.optimizer.CBOptimizer` run
+and the process exits non-zero on any plan-set mismatch (the
+``make serve-smoke`` and ``make serve-net-smoke`` targets).
 """
 
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
+import os
+import signal
 import sys
 import threading
 
 from repro.experiments import figures
+from repro.service.protocol import (
+    WORKLOAD_BUILDERS,
+    decode_request as _decode_request,
+    encode_response as _encode_response,
+    error_record,
+    overloaded_record,
+    plan_digest as _plan_digest,
+)
 from repro.workloads import build_ec1, build_ec2, build_ec3
 
 #: Experiment name -> (driver, keyword arguments it understands).
@@ -56,6 +72,10 @@ EXPERIMENTS = {
     ),
     "service-throughput": (
         figures.service_throughput,
+        ("timeout", "workers", "shards", "repeats"),
+    ),
+    "warm-restart": (
+        figures.warm_restart,
         ("timeout", "workers", "shards", "repeats"),
     ),
 }
@@ -103,10 +123,55 @@ def build_parser():
             name,
             help=(
                 "run a JSONL request stream through the warm optimizer service "
-                + ("(streaming)" if streaming else "(collect all, emit in input order)")
+                + ("(streaming; --port binds the TCP front end instead)"
+                   if streaming
+                   else "(collect all, emit in input order)")
             ),
         )
         _add_service_options(command)
+        if streaming:
+            command.add_argument(
+                "--port",
+                type=int,
+                default=None,
+                help="serve the JSONL protocol over TCP on this port instead of "
+                "stdin/stdout (0 = OS-assigned; run until SIGTERM/SIGINT, then drain)",
+            )
+            command.add_argument(
+                "--host", default="127.0.0.1", help="bind address for --port mode"
+            )
+            command.add_argument(
+                "--port-file",
+                default=None,
+                help="write the bound port to this file once listening "
+                "(for scripts using --port 0)",
+            )
+
+    client = subparsers.add_parser(
+        "client", help="pipe a JSONL request file through a running TCP server"
+    )
+    client.add_argument("--host", default="127.0.0.1", help="server address")
+    client.add_argument("--port", type=int, required=True, help="server port")
+    client.add_argument(
+        "--input", default="-", help="JSONL request file ('-' = stdin, the default)"
+    )
+    client.add_argument(
+        "--output", default="-", help="JSONL result file ('-' = stdout, the default)"
+    )
+    client.add_argument(
+        "--timeout", type=float, default=None, help="default per-request budget (s)"
+    )
+    client.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify every response against a fresh single-shot optimize "
+        "(exit non-zero on any plan-set mismatch, error or overload)",
+    )
+    client.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a final JSONL line with the server's service-wide stats",
+    )
     return parser
 
 
@@ -152,16 +217,35 @@ def _add_service_options(subparser):
         "--max-inflight", type=int, default=4, help="concurrent requests per shard"
     )
     subparser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="admission bound per shard: requests past it get a typed "
+        "'overloaded' response instead of queueing (default: unbounded)",
+    )
+    subparser.add_argument(
         "--max-cache-entries",
         type=int,
         default=None,
         help="LRU bound per chase cache (default: unbounded)",
     )
     subparser.add_argument(
+        "--max-memo-entries",
+        type=int,
+        default=None,
+        help="LRU bound per containment memo (default: unbounded)",
+    )
+    subparser.add_argument(
         "--max-sessions",
         type=int,
         default=None,
         help="LRU bound on warm sessions per shard (default: unbounded)",
+    )
+    subparser.add_argument(
+        "--snapshot",
+        default=None,
+        help="cache snapshot file: loaded at startup when it exists, saved at "
+        "shutdown (warm restarts)",
     )
     subparser.add_argument(
         "--timeout", type=float, default=None, help="default per-request budget (s)"
@@ -237,80 +321,9 @@ def _run_optimize(args, out):
 
 
 # ---------------------------------------------------------------------- #
-# JSONL serving (the `batch` / `serve` subcommands)
+# JSONL serving (the `batch` / `serve` / `client` subcommands; the codec
+# itself lives in repro.service.protocol, shared with the socket front end)
 # ---------------------------------------------------------------------- #
-#: workload name -> (builder, parameter names accepted in a request's "params")
-WORKLOAD_BUILDERS = {
-    "ec1": (build_ec1, ("relations", "secondary_indexes")),
-    "ec2": (build_ec2, ("stars", "corners", "views")),
-    "ec3": (build_ec3, ("classes", "asrs")),
-}
-
-
-def _decode_request(line, default_id):
-    """Parse one JSONL request line into ``(request_id, workload, strategy, timeout)``.
-
-    Schema::
-
-        {"id": "r1",                  # optional; defaults to the line number
-         "workload": "ec2",           # ec1 | ec2 | ec3
-         "params": {"stars": 2, "corners": 3, "views": 1},   # builder kwargs
-         "strategy": "fb",            # fb | oqf | ocs (default fb)
-         "timeout": 30.0}             # optional per-request budget (s)
-    """
-    record = json.loads(line)
-    if not isinstance(record, dict):
-        raise ValueError("request line must be a JSON object")
-    name = record.get("workload")
-    if name not in WORKLOAD_BUILDERS:
-        raise ValueError(
-            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_BUILDERS)}"
-        )
-    builder, accepted = WORKLOAD_BUILDERS[name]
-    params = record.get("params") or {}
-    unknown = set(params) - set(accepted)
-    if unknown:
-        raise ValueError(f"unknown {name} params {sorted(unknown)}; accepted: {accepted}")
-    workload = builder(**params)
-    return (
-        record.get("id", default_id),
-        workload,
-        record.get("strategy", "fb"),
-        record.get("timeout"),
-    )
-
-
-def _plan_digest(plans):
-    """Stable short digests of a plan set (sorted, whitespace-insensitive)."""
-    texts = sorted(" ".join(str(plan.query).split()) for plan in plans)
-    return [hashlib.sha256(text.encode("utf-8")).hexdigest()[:16] for text in texts]
-
-
-def _encode_response(request_id, workload, strategy, response, checked=None):
-    """Serialize one service response as a JSONL record."""
-    record = {"id": request_id, "workload": workload.name, "strategy": strategy}
-    if not response.ok:
-        record["status"] = "error"
-        record["error"] = response.error
-        return record
-    result = response.result
-    record.update(
-        status="ok",
-        plan_count=result.plan_count,
-        plan_digests=_plan_digest(result.plans),
-        total_time_s=round(result.total_time, 6),
-        timed_out=result.timed_out,
-        shard=response.metrics.shard,
-        session=response.metrics.session,
-        cache_hits=response.metrics.cache_hits,
-        cache_misses=response.metrics.cache_misses,
-        latency_s=round(response.metrics.latency, 6),
-    )
-    if checked is not None:
-        record["matches_single_shot"] = checked
-    return record
-
-
 def _check_against_single_shot(workload, strategy, timeout, response):
     """Re-run the request single-shot and compare plan signature sets."""
     if not response.ok:
@@ -328,9 +341,35 @@ def _open_maybe(path, mode, fallback):
     return open(path, mode, encoding="utf-8"), True
 
 
+def _build_service(args):
+    """Construct the optimizer service from the shared service flags,
+    loading the ``--snapshot`` file when one exists (warm restart)."""
+    from repro.service import OptimizerService
+
+    service = OptimizerService(
+        shards=args.shards,
+        executor=args.executor,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        max_cache_entries=args.max_cache_entries,
+        max_memo_entries=args.max_memo_entries,
+        max_sessions=args.max_sessions,
+        default_timeout=args.timeout,
+    )
+    if args.snapshot and os.path.exists(args.snapshot):
+        service.load_caches(args.snapshot)
+    return service
+
+
+def _save_snapshot(service, args):
+    if args.snapshot:
+        service.save_caches(args.snapshot)
+
+
 def _run_service_stream(args, out, streaming):
     """Drive the optimizer service from a JSONL stream (batch and serve)."""
-    from repro.service import OptimizerService
+    from repro.errors import ServiceOverloaded
 
     in_stream, close_in = _open_maybe(args.input, "r", sys.stdin)
     out_stream, close_out = _open_maybe(args.output, "w", out)
@@ -352,15 +391,7 @@ def _run_service_stream(args, out, streaming):
             failures.append(request_id)
         emit(_encode_response(request_id, workload, strategy, response, checked))
 
-    service = OptimizerService(
-        shards=args.shards,
-        executor=args.executor,
-        workers=args.workers,
-        max_inflight=args.max_inflight,
-        max_cache_entries=args.max_cache_entries,
-        max_sessions=args.max_sessions,
-        default_timeout=args.timeout,
-    )
+    service = _build_service(args)
     try:
         pending = []
         for number, line in enumerate(in_stream, start=1):
@@ -371,15 +402,24 @@ def _run_service_stream(args, out, streaming):
                 request_id, workload, strategy, timeout = _decode_request(line, number)
             except (ValueError, TypeError) as error:
                 failures.append(number)
-                emit({"id": number, "status": "error", "error": str(error)})
+                emit(error_record(number, error))
                 continue
-            future = service.submit(
-                workload.query,
-                strategy=strategy,
-                catalog=workload.catalog,
-                timeout=timeout,
-                request_id=request_id,
-            )
+            try:
+                future = service.submit(
+                    workload.query,
+                    strategy=strategy,
+                    catalog=workload.catalog,
+                    timeout=timeout,
+                    request_id=request_id,
+                )
+            except ServiceOverloaded as error:
+                # Shed load: a typed response, not a failure — the client is
+                # expected to back off and retry (with --check there is no
+                # plan set to verify, so it counts against the exit code).
+                if args.check:
+                    failures.append(request_id)
+                emit(overloaded_record(request_id, error))
+                continue
             if streaming:
                 # The completion event guards the shutdown path: a future's
                 # waiters wake *before* its done-callbacks run, so waiting on
@@ -415,8 +455,127 @@ def _run_service_stream(args, out, streaming):
                 finish(request_id, workload, strategy, timeout, future.result())
         if args.stats:
             emit({"stats": service.stats().as_dict()})
+        _save_snapshot(service, args)
     finally:
         service.shutdown()
+        if close_in:
+            in_stream.close()
+        if close_out:
+            out_stream.close()
+    return 1 if failures else 0
+
+
+def _run_socket_server(args, out):
+    """Bind the TCP front end and serve until SIGTERM/SIGINT, then drain."""
+    from repro.service import OptimizerServer
+
+    # These flags belong to the stdin/stdout streaming mode (or the client
+    # subcommand); silently ignoring them would let a user believe their
+    # requests were processed or verified when nothing happened.
+    unsupported = []
+    if args.check:
+        unsupported.append("--check (use `repro.cli client --check` against the server)")
+    if args.input != "-":
+        unsupported.append("--input (pipe it through `repro.cli client --input ...`)")
+    if args.output != "-":
+        unsupported.append("--output (responses go to the sockets)")
+    if unsupported:
+        print(
+            "serve --port does not support: " + "; ".join(unsupported), file=sys.stderr
+        )
+        return 2
+
+    service = _build_service(args)
+    stop = threading.Event()
+
+    def _signal_handler(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _signal_handler)
+        except ValueError:  # not the main thread (e.g. under a test runner)
+            pass
+    server = OptimizerServer(service, host=args.host, port=args.port)
+    try:
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(str(server.port))
+        print(
+            json.dumps({"serving": {"host": server.address[0], "port": server.port}}),
+            file=out,
+            flush=True,
+        )
+        stop.wait()
+        server.stop(drain=True)
+        _save_snapshot(service, args)
+        if args.stats:
+            print(json.dumps({"stats": service.stats().as_dict()}), file=out, flush=True)
+    finally:
+        server.stop(drain=False)  # idempotent; covers the exception path
+        service.shutdown()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+def _run_client(args, out):
+    """Pipe a JSONL request file through a running TCP server.
+
+    Requests are validated (and only with ``--check`` actually *built* —
+    the server constructs the workloads anyway, so the client stays cheap),
+    pipelined onto one connection, and reported in input order.
+    """
+    from repro.service import OptimizerClient
+    from repro.service.protocol import WORKLOAD_BUILDERS
+
+    in_stream, close_in = _open_maybe(args.input, "r", sys.stdin)
+    out_stream, close_out = _open_maybe(args.output, "w", out)
+    failures = []
+    try:
+        with OptimizerClient(host=args.host, port=args.port) as client:
+            pending = []
+            for number, line in enumerate(in_stream, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    record = json.loads(line)
+                    request_id, _, strategy, timeout = _decode_request(
+                        record, number, build=False
+                    )
+                except (ValueError, TypeError) as error:
+                    failures.append(number)
+                    print(json.dumps(error_record(number, error)), file=out_stream)
+                    continue
+                record.setdefault("id", request_id)
+                if timeout is None and args.timeout is not None:
+                    record["timeout"] = timeout = args.timeout
+                future = client.submit(record)
+                pending.append((request_id, record, strategy, timeout, future))
+            for request_id, record, strategy, timeout, future in pending:
+                response = future.result()
+                status = response.get("status")
+                if status == "error":
+                    failures.append(request_id)
+                elif status == "overloaded" and args.check:
+                    failures.append(request_id)
+                elif args.check and status == "ok":
+                    builder, _ = WORKLOAD_BUILDERS[record["workload"]]
+                    workload = builder(**(record.get("params") or {}))
+                    fresh = workload.optimizer(timeout=timeout).optimize(
+                        workload.query, strategy=strategy
+                    )
+                    checked = _plan_digest(fresh.plans) == response.get("plan_digests")
+                    response["matches_single_shot"] = checked
+                    if not checked:
+                        failures.append(request_id)
+                print(json.dumps(response), file=out_stream)
+                out_stream.flush()
+            if args.stats:
+                print(json.dumps({"stats": client.stats()}), file=out_stream, flush=True)
+    finally:
         if close_in:
             in_stream.close()
         if close_out:
@@ -434,6 +593,10 @@ def main(argv=None, out=None):
         return 0
     if args.command == "optimize":
         return _run_optimize(args, out)
+    if args.command == "client":
+        return _run_client(args, out)
+    if args.command == "serve" and args.port is not None:
+        return _run_socket_server(args, out)
     if args.command in ("batch", "serve"):
         return _run_service_stream(args, out, streaming=args.command == "serve")
     return _run_experiment(args.command, args, out)

@@ -9,25 +9,31 @@
   equality pruning described in Section 3.1 of the paper.
 * :mod:`repro.cq.containment` -- containment mappings, equivalence and
   minimality checks.
+* :mod:`repro.cq.memo` -- memoised containment verdicts keyed by canonical
+  query-pair signatures (the serving layer's cross-request reuse).
 """
 
 from repro.cq.congruence import CongruenceClosure
 from repro.cq.containment import (
     find_containment_mapping,
+    has_containment_mapping,
     is_contained_in,
     is_equivalent,
     is_minimal,
 )
 from repro.cq.homomorphism import count_homomorphisms, find_homomorphism, find_homomorphisms
+from repro.cq.memo import ContainmentMemo
 from repro.cq.query import PCQuery
 
 __all__ = [
     "CongruenceClosure",
+    "ContainmentMemo",
     "PCQuery",
     "count_homomorphisms",
     "find_containment_mapping",
     "find_homomorphism",
     "find_homomorphisms",
+    "has_containment_mapping",
     "is_contained_in",
     "is_equivalent",
     "is_minimal",

@@ -51,6 +51,24 @@ def find_containment_mapping(source, target):
     return None
 
 
+def has_containment_mapping(source, target, stats=None):
+    """Return ``True`` when a containment mapping ``source`` → ``target`` exists.
+
+    The boolean twin of :func:`find_containment_mapping`, with an optional
+    :class:`~repro.cq.homomorphism.SearchStats` accumulator.  This is the
+    single search the backchase equivalence test and the containment memo
+    (:mod:`repro.cq.memo`) both bottom out in, so the memoised verdict is by
+    construction the fresh verdict.
+    """
+    closure = target.congruence()
+    for mapping in find_homomorphisms(
+        source.bindings, source.conditions, target, target_closure=closure, stats=stats
+    ):
+        if outputs_match(source, target, mapping, target_closure=closure):
+            return True
+    return False
+
+
 def is_contained_in(query, other):
     """Return ``True`` when ``query ⊆ other`` (no constraints)."""
     return find_containment_mapping(other, query) is not None
@@ -101,6 +119,7 @@ def minimize(query):
 
 __all__ = [
     "find_containment_mapping",
+    "has_containment_mapping",
     "is_contained_in",
     "is_equivalent",
     "is_minimal",

@@ -294,23 +294,41 @@ class PCQuery:
         unknown = keep - self.variable_set
         if unknown:
             raise QueryError(f"cannot restrict to unbound variables {sorted(unknown)}")
-        closure = self.saturated_congruence()
-        bindings = tuple(binding for binding in self.bindings if binding.var in keep)
-        for binding in bindings:
-            if not path_variables(binding.range) <= keep:
-                # A surviving binding navigates through a removed variable, so
-                # the candidate is not a well-formed subquery.  (The backchase
-                # only removes bindings; it never rewrites the ranges of the
-                # remaining ones.)
-                return None
-        conditions = _restricted_conditions(closure, keep)
-        output = []
-        for label, path in tuple(self.output) + tuple(extra_output):
-            rewritten = _rewrite_over(path, keep, closure)
-            if rewritten is None:
-                return None
-            output.append((label, rewritten))
-        return PCQuery(tuple(output), bindings, conditions)
+        # Restrictions are memoised per *instance*: the backchase restricts
+        # the same universal plan to thousands of variable subsets, and a
+        # warm optimizer-service request repeats the very same restrictions
+        # (the universal plan object is shared through the chase cache) —
+        # profiling shows restriction construction dominating fully-warm
+        # requests once chase and containment results are cached.  Storing
+        # the table on the instance keeps its lifetime tied to the query
+        # (evicted together with the chase-cache entry that holds it, so
+        # the service's LRU bounds stay meaningful) and lets cache
+        # persistence carry the restrictions across restarts for free.
+        key = (keep, tuple(extra_output))
+        table = self.__dict__.get("_restrictions")
+        if table is None:
+            table = {}
+            object.__setattr__(self, "_restrictions", table)
+        if key in table:
+            return table[key]
+        result = _build_restriction(self, keep, key[1])
+        table[key] = result
+        return result
+
+    def __getstate__(self):
+        # Copy the instance dict so pickling never iterates a restriction
+        # table a concurrent request is still filling (snapshots are taken
+        # at drain time, but a stray in-flight request must not corrupt
+        # them), and so the memo travels with persisted universal plans.
+        state = dict(self.__dict__)
+        table = state.get("_restrictions")
+        if table is not None:
+            state["_restrictions"] = dict(table)
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------ #
     # memoisation keys
@@ -417,6 +435,27 @@ def _dedupe(paths):
             seen.add(path)
             result.append(path)
     return result
+
+
+def _build_restriction(query, keep, extra_output):
+    """The uncached body of :meth:`PCQuery.restrict_to` (see its memo note)."""
+    closure = query.saturated_congruence()
+    bindings = tuple(binding for binding in query.bindings if binding.var in keep)
+    for binding in bindings:
+        if not path_variables(binding.range) <= keep:
+            # A surviving binding navigates through a removed variable, so
+            # the candidate is not a well-formed subquery.  (The backchase
+            # only removes bindings; it never rewrites the ranges of the
+            # remaining ones.)
+            return None
+    conditions = _restricted_conditions(closure, keep)
+    output = []
+    for label, path in tuple(query.output) + tuple(extra_output):
+        rewritten = _rewrite_over(path, keep, closure)
+        if rewritten is None:
+            return None
+        output.append((label, rewritten))
+    return PCQuery(tuple(output), bindings, conditions)
 
 
 @functools.lru_cache(maxsize=4096)

@@ -86,3 +86,25 @@ class ExecutionError(ReproError):
     database instance, or a dictionary lookup on a key path that cannot be
     resolved.
     """
+
+
+class ServiceOverloaded(ReproError):
+    """Raised when the optimizer service rejects a request at admission.
+
+    A shard whose queue depth (queued + executing requests) has reached its
+    ``max_queue_depth`` bound sheds load instead of buffering without bound;
+    the socket front end translates this into a typed ``overloaded`` JSONL
+    response so clients can back off and retry.
+
+    Attributes
+    ----------
+    shard:
+        The shard that rejected the request.
+    queue_depth:
+        The depth observed at rejection time.
+    """
+
+    def __init__(self, message, shard=None, queue_depth=None):
+        super().__init__(message)
+        self.shard = shard
+        self.queue_depth = queue_depth

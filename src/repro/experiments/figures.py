@@ -25,6 +25,7 @@ from repro.experiments.harness import (
     measure_parallel_scaling,
     measure_service_throughput,
     measure_strategy,
+    measure_warm_restart,
 )
 from repro.experiments.reporting import render_table
 from repro.workloads.ec1 import build_ec1
@@ -420,6 +421,79 @@ def service_throughput(
 
 
 # ---------------------------------------------------------------------- #
+# Warm restart (post-paper: the PR 5 cache-persistence experiment)
+# ---------------------------------------------------------------------- #
+def warm_restart(
+    repeats=8,
+    shards=2,
+    executor="threads",
+    workers=2,
+    timeout=DEFAULT_TIMEOUT,
+    snapshot=None,
+):
+    """Cold service vs. a restarted service loading a cache snapshot.
+
+    The cold life runs the mixed request mix from empty caches and saves its
+    warm sessions (chase fixpoints + containment-memo verdicts) with
+    ``save_caches``; a brand-new service loads the snapshot and replays the
+    same requests.  The table reports both lives' wall clock and hit rates;
+    the speedup row is what persistence buys a redeployed server.
+    """
+    measurement = measure_warm_restart(
+        repeats=repeats,
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        timeout=timeout,
+        snapshot_path=snapshot,
+    )
+    result = ExperimentResult(
+        f"Warm restart from cache snapshot [{measurement.request_count} requests, "
+        f"{measurement.distinct_configs} configs, {measurement.shards} shards, "
+        f"{measurement.executor} x{measurement.workers}]",
+        [
+            "life",
+            "total (s)",
+            "queries/s",
+            "cache hit rate",
+            "memo hit rate",
+            "plans match",
+        ],
+        notes=(
+            f"restart speedup {measurement.speedup:.2f}x; "
+            f"{measurement.sessions_saved} sessions, "
+            f"{measurement.snapshot_bytes / 1024:.0f} KiB snapshot"
+        ),
+    )
+    result.rows.append(
+        (
+            "cold start",
+            round(measurement.cold_seconds, 3),
+            round(measurement.request_count / measurement.cold_seconds, 2)
+            if measurement.cold_seconds > 0
+            else float("inf"),
+            round(measurement.cache_hit_rate_cold, 3),
+            round(measurement.memo_hit_rate_cold, 3),
+            True,
+        )
+    )
+    result.rows.append(
+        (
+            "restarted (snapshot)",
+            round(measurement.restart_seconds, 3),
+            round(measurement.request_count / measurement.restart_seconds, 2)
+            if measurement.restart_seconds > 0
+            else float("inf"),
+            round(measurement.cache_hit_rate_restart, 3),
+            round(measurement.memo_hit_rate_restart, 3),
+            measurement.plans_match,
+        )
+    )
+    result.measurement = measurement
+    return result
+
+
+# ---------------------------------------------------------------------- #
 # Figure 9: plan detail for one EC2 instance
 # ---------------------------------------------------------------------- #
 def figure9_plan_detail(stars=3, corners=2, views=1, size=5000, seed=0, timeout=DEFAULT_TIMEOUT):
@@ -529,4 +603,5 @@ __all__ = [
     "parallel_backchase_scaling",
     "plans_table_ec2",
     "service_throughput",
+    "warm_restart",
 ]

@@ -294,6 +294,150 @@ def measure_service_throughput(
 
 
 @dataclass
+class WarmRestartMeasurement:
+    """Cache-persistence experiment: a restarted service vs. a cold start.
+
+    Three lives of the same mixed workload:
+
+    * **cold** — a fresh :class:`~repro.service.OptimizerService` with empty
+      caches runs the full request list (its later rounds warm up in
+      process, which is where the within-life ``memo_hit_rate_cold`` and
+      ``cache_hit_rate_cold`` come from);
+    * **snapshot** — the cold service's sessions (chase-cache registries +
+      containment memos) are pickled with ``save_caches``;
+    * **restarted** — a brand-new service loads the snapshot
+      (``load_caches``) and replays the same request list.  Every chase is a
+      cache hit and every containment verdict a memo hit, so
+      ``speedup = cold_seconds / restart_seconds`` measures exactly what
+      cache persistence buys a redeployed server.
+
+    ``plans_match`` asserts the restarted plan sets are signature-identical
+    to the cold ones (persistence must never change a plan).
+    """
+
+    request_count: int
+    distinct_configs: int
+    shards: int
+    executor: str
+    workers: int
+    cold_seconds: float
+    restart_seconds: float
+    speedup: float
+    cache_hit_rate_cold: float
+    memo_hit_rate_cold: float
+    cache_hit_rate_restart: float
+    memo_hit_rate_restart: float
+    memo_hits_cold: int
+    memo_hits_restart: int
+    sessions_saved: int
+    snapshot_bytes: int
+    plans_match: bool
+    errors: int = 0
+
+
+def measure_warm_restart(
+    mix=None,
+    repeats=8,
+    shards=2,
+    executor="threads",
+    workers=2,
+    max_inflight=4,
+    timeout=None,
+    snapshot_path=None,
+):
+    """Measure what cache persistence buys a restarted optimizer service.
+
+    Runs the interleaved mixed request list (as
+    :func:`measure_service_throughput`) through a cold service, snapshots its
+    warm state, loads the snapshot into a *new* service, and replays the same
+    list.  ``snapshot_path=None`` uses a temporary file (removed afterwards).
+    """
+    import os
+    import tempfile
+
+    from repro.service import OptimizerService
+
+    mix = mix if mix is not None else default_service_mix()
+    requests = [config for _ in range(repeats) for config in mix]
+    service_kwargs = dict(
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        max_inflight=max_inflight,
+        default_timeout=timeout,
+    )
+
+    cleanup = snapshot_path is None
+    if snapshot_path is None:
+        handle = tempfile.NamedTemporaryFile(prefix="repro-warm-", suffix=".pkl", delete=False)
+        handle.close()
+        snapshot_path = handle.name
+
+    def run_life(service):
+        start = time.perf_counter()
+        futures = [
+            service.submit(workload.query, strategy=strategy, catalog=workload.catalog)
+            for workload, strategy in requests
+        ]
+        responses = [future.result() for future in futures]
+        elapsed = time.perf_counter() - start
+        signatures = [
+            {plan.signature() for plan in response.result.plans} if response.ok else None
+            for response in responses
+        ]
+        return elapsed, signatures, service.stats()
+
+    try:
+        with OptimizerService(**service_kwargs) as cold_service:
+            cold_seconds, cold_signatures, cold_stats = run_life(cold_service)
+            sessions_saved = cold_service.save_caches(snapshot_path)
+        snapshot_bytes = os.path.getsize(snapshot_path)
+
+        # Both lives run in one process, but a genuinely redeployed server
+        # starts with the module-level congruence caches empty — clear them
+        # so the restarted life is served only by what the snapshot actually
+        # persisted (chase fixpoints, containment memos, and the restriction
+        # tables riding on the pickled universal plans).
+        from repro.cq.query import _shared_congruence, _shared_saturated_congruence
+
+        _shared_congruence.cache_clear()
+        _shared_saturated_congruence.cache_clear()
+
+        with OptimizerService(**service_kwargs) as restarted_service:
+            loaded = restarted_service.load_caches(snapshot_path)
+            assert loaded == sessions_saved
+            restart_seconds, restart_signatures, restart_stats = run_life(restarted_service)
+    finally:
+        if cleanup and os.path.exists(snapshot_path):
+            os.unlink(snapshot_path)
+
+    plans_match = all(
+        cold is not None and cold == restarted
+        for cold, restarted in zip(cold_signatures, restart_signatures)
+    )
+    return WarmRestartMeasurement(
+        request_count=len(requests),
+        distinct_configs=len(mix),
+        shards=shards,
+        executor=executor,
+        workers=1 if executor == "serial" else resolve_worker_count(workers),
+        cold_seconds=cold_seconds,
+        restart_seconds=restart_seconds,
+        speedup=cold_seconds / restart_seconds if restart_seconds > 0 else float("inf"),
+        cache_hit_rate_cold=cold_stats.cache_hit_rate,
+        memo_hit_rate_cold=cold_stats.memo_hit_rate,
+        cache_hit_rate_restart=restart_stats.cache_hit_rate,
+        memo_hit_rate_restart=restart_stats.memo_hit_rate,
+        memo_hits_cold=cold_stats.memo_hits,
+        memo_hits_restart=restart_stats.memo_hits,
+        sessions_saved=sessions_saved,
+        snapshot_bytes=snapshot_bytes,
+        plans_match=plans_match,
+        errors=cold_stats.errors + restart_stats.errors,
+    )
+
+
+@dataclass
 class ExecutionMeasurement:
     """Execution of every generated plan on a populated database (Figure 9)."""
 
@@ -373,10 +517,12 @@ __all__ = [
     "ParallelBackchaseMeasurement",
     "ServiceThroughputMeasurement",
     "StrategyMeasurement",
+    "WarmRestartMeasurement",
     "default_service_mix",
     "measure_chase",
     "measure_execution",
     "measure_parallel_scaling",
     "measure_service_throughput",
     "measure_strategy",
+    "measure_warm_restart",
 ]

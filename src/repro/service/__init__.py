@@ -11,25 +11,38 @@ executor waves.  Plan sets are signature-identical to single-shot
 Modules
 -------
 ``service``
-    The façade: admission, routing, futures, lifecycle.
+    The façade: admission, routing, futures, lifecycle, cache snapshots.
 ``shard``
-    Warm per-catalog sessions + request runner threads per shard.
+    Warm per-catalog sessions (chase caches + containment memos), bounded
+    admission, request runner threads per shard.
 ``scheduler``
     The cross-query wave batching scheduler and its executor adapter.
 ``metrics``
     Per-request/shard/service accounting and latency percentiles.
+``protocol``
+    The JSONL request/response codec shared by the CLI, the socket server
+    and the client.
+``server`` / ``client``
+    The TCP front end: JSONL over a socket with graceful drain, typed
+    overload responses, and id-based response demultiplexing.
 """
 
+from repro.errors import ServiceOverloaded
+from repro.service.client import OptimizerClient
 from repro.service.metrics import RequestMetrics, ServiceStats, ShardStats, percentile
 from repro.service.scheduler import SERVICE_EXECUTORS, ScheduledPool, WaveScheduler
+from repro.service.server import OptimizerServer
 from repro.service.service import OptimizerService, ServiceRequest, ServiceResponse
 from repro.service.shard import Shard, ShardSession, shard_index
 
 __all__ = [
+    "OptimizerClient",
+    "OptimizerServer",
     "OptimizerService",
     "RequestMetrics",
     "SERVICE_EXECUTORS",
     "ScheduledPool",
+    "ServiceOverloaded",
     "ServiceRequest",
     "ServiceResponse",
     "ServiceStats",

@@ -1,0 +1,168 @@
+"""Client for the optimizer service's TCP front end.
+
+:class:`OptimizerClient` speaks the JSONL protocol of
+:mod:`repro.service.protocol` over one socket.  Because the server streams
+responses *as they complete* (out of order), the client runs a reader
+thread that demultiplexes incoming records back to per-request futures by
+``id`` — which makes the client safe to share across threads: the
+concurrency stress suite hammers one connection from many threads and every
+request still gets exactly its own response.
+
+Usage::
+
+    from repro.service import OptimizerClient
+
+    with OptimizerClient(port=server.port) as client:
+        record = client.request({"workload": "ec2",
+                                 "params": {"stars": 1, "corners": 3, "views": 1},
+                                 "strategy": "fb"})
+        assert record["status"] in ("ok", "overloaded")
+        print(client.stats()["memo_hit_rate"])
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from concurrent.futures import Future
+
+
+class OptimizerClient:
+    """JSONL-over-TCP client with id-based response demultiplexing.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address (see
+        :attr:`~repro.service.server.OptimizerServer.address`).
+    connect_timeout:
+        Seconds to wait for the TCP connect.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, connect_timeout=5.0):
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._write_lock = threading.Lock()
+        self._pending = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._reader_thread = threading.Thread(
+            target=self._read_loop, name="svc-client-reader", daemon=True
+        )
+        self._reader_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # request submission
+    # ------------------------------------------------------------------ #
+    def submit(self, record):
+        """Send one request record; returns a Future of the response record.
+
+        A missing ``id`` is assigned (``c1``, ``c2``, ...).  Ids must be
+        unique among in-flight requests on this connection — the demux is
+        keyed by them.
+        """
+        record = dict(record)
+        if "id" not in record:
+            record["id"] = f"c{next(self._ids)}"
+        request_id = record["id"]
+        future = Future()
+        with self._pending_lock:
+            if self._closed:
+                raise RuntimeError("OptimizerClient is closed")
+            if request_id in self._pending:
+                raise ValueError(f"request id {request_id!r} is already in flight")
+            self._pending[request_id] = future
+        try:
+            self._send_line(json.dumps(record))
+        except BaseException:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise
+        return future
+
+    def request(self, record, timeout=None):
+        """Send one request and wait for its response record."""
+        return self.submit(record).result(timeout=timeout)
+
+    def request_many(self, records, timeout=None):
+        """Pipeline several requests; responses returned in submission order."""
+        futures = [self.submit(record) for record in records]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def stats(self, timeout=None):
+        """Fetch the server's service-wide stats dict."""
+        response = self.request({"op": "stats"}, timeout=timeout)
+        return response["stats"]
+
+    def ping(self, timeout=None):
+        """Liveness round-trip; returns ``True`` when the server answered."""
+        return bool(self.request({"op": "ping"}, timeout=timeout).get("pong"))
+
+    def _send_line(self, line):
+        data = (line + "\n").encode("utf-8")
+        with self._write_lock:
+            self._sock.sendall(data)
+
+    # ------------------------------------------------------------------ #
+    # response demultiplexing
+    # ------------------------------------------------------------------ #
+    def _read_loop(self):
+        try:
+            for line in self._reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a torn line on teardown; the future fails at EOF
+                future = None
+                if isinstance(record, dict):
+                    with self._pending_lock:
+                        future = self._pending.pop(record.get("id"), None)
+                if future is not None:
+                    future.set_result(record)
+        except OSError:
+            pass
+        finally:
+            self._fail_pending(ConnectionError("connection closed before a response arrived"))
+
+    def _fail_pending(self, error):
+        with self._pending_lock:
+            pending, self._pending = dict(self._pending), {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self):
+        """Close the connection; in-flight futures fail with ConnectionError."""
+        with self._pending_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader_thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+__all__ = ["OptimizerClient"]

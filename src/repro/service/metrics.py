@@ -1,10 +1,11 @@
 """Metrics for the long-lived optimizer service.
 
-Everything the service reports — per-request latencies, per-shard cache and
-batching counters, service-wide aggregates — lives here, together with the
-tiny percentile helper the benchmarks use for p50/p95 latency.  All
-collectors are thread-safe: requests complete on shard runner threads and
-read-side calls (``OptimizerService.stats()``) can arrive concurrently.
+Everything the service reports — per-request latencies, per-shard cache,
+memo, queue and batching counters, service-wide aggregates — lives here,
+together with the tiny percentile helper the benchmarks use for p50/p95
+latency.  All collectors are thread-safe: requests complete on shard runner
+threads and read-side calls (``OptimizerService.stats()``) can arrive
+concurrently.
 """
 
 from __future__ import annotations
@@ -31,9 +32,10 @@ def percentile(values, fraction):
 class RequestMetrics:
     """Per-request accounting attached to every :class:`ServiceResponse`.
 
-    ``cache_hits`` / ``cache_misses`` are deltas of the session's registry
+    ``cache_hits`` / ``cache_misses`` (chase fixpoints) and ``memo_hits`` /
+    ``memo_misses`` (containment verdicts) are deltas of the session's
     counters across the request's runtime.  With ``max_inflight > 1``,
-    concurrent requests against the *same* catalog share that registry, so
+    concurrent requests against the *same* catalog share that session, so
     the deltas are best-effort attribution (they may include a concurrent
     sibling's activity); the :class:`ShardStats` aggregates are always
     exact.  Run single-inflight when per-request numbers must be precise.
@@ -47,13 +49,21 @@ class RequestMetrics:
     plan_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
     timed_out: bool = False
     error: str | None = None
 
 
 @dataclass
 class ShardStats:
-    """One shard's snapshot: sessions, requests, batching and cache state."""
+    """One shard's snapshot: sessions, queue, batching, cache and memo state.
+
+    ``queue_depth`` is the *current* admitted-request gauge (queued on the
+    runner pool plus executing), ``queue_peak`` its high-water mark and
+    ``rejected`` the requests shed at admission
+    (:class:`~repro.errors.ServiceOverloaded`).
+    """
 
     shard: int
     sessions: int
@@ -67,11 +77,23 @@ class ShardStats:
     cache_hits: int
     cache_misses: int
     cache_evictions: int
+    queue_depth: int = 0
+    queue_peak: int = 0
+    rejected: int = 0
+    memo_entries: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
 
     @property
     def cache_hit_rate(self):
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def memo_hit_rate(self):
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
 
 @dataclass
@@ -79,12 +101,15 @@ class ServiceStats:
     """Service-wide snapshot returned by :meth:`OptimizerService.stats`.
 
     ``latencies`` (and therefore the percentiles) cover the collector's
-    most recent bounded window; ``requests``/``errors`` are exact totals.
+    most recent bounded window; ``requests``/``errors``/``rejected`` are
+    exact totals (rejected requests never execute, so they appear in no
+    other counter).
     """
 
     shards: list = field(default_factory=list)
     requests: int = 0
     errors: int = 0
+    rejected: int = 0
     latencies: list = field(default_factory=list, repr=False)
 
     @property
@@ -103,6 +128,31 @@ class ServiceStats:
     def cache_hit_rate(self):
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def memo_hits(self):
+        return sum(shard.memo_hits for shard in self.shards)
+
+    @property
+    def memo_misses(self):
+        return sum(shard.memo_misses for shard in self.shards)
+
+    @property
+    def memo_evictions(self):
+        return sum(shard.memo_evictions for shard in self.shards)
+
+    @property
+    def memo_hit_rate(self):
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+    @property
+    def queue_depth(self):
+        return sum(shard.queue_depth for shard in self.shards)
+
+    @property
+    def queue_peak(self):
+        return sum(shard.queue_peak for shard in self.shards)
 
     @property
     def waves(self):
@@ -125,13 +175,20 @@ class ServiceStats:
         return {
             "requests": self.requests,
             "errors": self.errors,
+            "rejected": self.rejected,
             "shards": len(self.shards),
             "sessions": sum(shard.sessions for shard in self.shards),
             "sessions_evicted": sum(shard.sessions_evicted for shard in self.shards),
+            "queue_depth": self.queue_depth,
+            "queue_peak": self.queue_peak,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_evictions": self.memo_evictions,
+            "memo_hit_rate": round(self.memo_hit_rate, 4),
             "waves": self.waves,
             "cross_request_waves": self.cross_request_waves,
             "p50_latency_s": round(self.p50_latency, 6),
@@ -145,7 +202,7 @@ class MetricsCollector:
     Latencies are kept in a bounded ring buffer (``max_samples``, default
     4096): a long-lived service must not grow per-request state without
     bound, so the percentiles describe the most recent window while the
-    request/error totals stay exact.
+    request/error/rejection totals stay exact.
     """
 
     def __init__(self, max_samples=4096):
@@ -153,6 +210,7 @@ class MetricsCollector:
         self._latencies = deque(maxlen=max_samples)
         self._requests = 0
         self._errors = 0
+        self._rejected = 0
 
     def record(self, metrics):
         with self._lock:
@@ -161,10 +219,15 @@ class MetricsCollector:
             if metrics.error is not None:
                 self._errors += 1
 
-    def snapshot(self):
-        """Return ``(requests, errors, recent latencies)`` as copies."""
+    def record_rejection(self):
+        """Count an admission rejection (the request never executed)."""
         with self._lock:
-            return self._requests, self._errors, list(self._latencies)
+            self._rejected += 1
+
+    def snapshot(self):
+        """Return ``(requests, errors, rejected, recent latencies)`` as copies."""
+        with self._lock:
+            return self._requests, self._errors, self._rejected, list(self._latencies)
 
 
 __all__ = [

@@ -1,0 +1,134 @@
+"""The JSONL request/response protocol of the optimizer serving layer.
+
+One codec, three transports: the CLI's ``batch``/``serve`` subcommands read
+the protocol from files/stdin, the TCP front end
+(:mod:`repro.service.server`) speaks it over a socket, and the client
+(:mod:`repro.service.client`) demultiplexes it back into futures.  Keeping
+encode/decode here — rather than in the CLI — is what makes the
+differential test harness meaningful: every path serialises through exactly
+the same functions.
+
+Request line (one JSON object per line; ``#`` lines are comments)::
+
+    {"id": "r1",                  # optional; defaults to the line number
+     "workload": "ec2",           # ec1 | ec2 | ec3
+     "params": {"stars": 2, "corners": 3, "views": 1},   # builder kwargs
+     "strategy": "fb",            # fb | oqf | ocs (default fb)
+     "timeout": 30.0}             # optional per-request budget (s)
+
+Control lines: ``{"op": "stats", "id": ...}`` asks the server for a
+service-stats record; ``{"op": "ping", "id": ...}`` for a liveness echo.
+
+Response lines carry ``status``: ``"ok"`` (plan digests + serving
+metadata), ``"error"`` (decode or engine failure), or ``"overloaded"``
+(admission rejected the request — retry after backing off; nothing was
+executed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.workloads import build_ec1, build_ec2, build_ec3
+
+#: workload name -> (builder, parameter names accepted in a request's "params")
+WORKLOAD_BUILDERS = {
+    "ec1": (build_ec1, ("relations", "secondary_indexes")),
+    "ec2": (build_ec2, ("stars", "corners", "views")),
+    "ec3": (build_ec3, ("classes", "asrs")),
+}
+
+
+def decode_request(line, default_id, build=True):
+    """Parse one JSONL request line into ``(request_id, workload, strategy, timeout)``.
+
+    ``build=False`` validates the record without constructing the workload
+    (``workload`` comes back ``None``): the socket client forwards requests
+    for the *server* to build, so paying catalog construction per line on
+    the client would only gate submission throughput.
+    """
+    record = json.loads(line) if isinstance(line, str) else line
+    if not isinstance(record, dict):
+        raise ValueError("request line must be a JSON object")
+    name = record.get("workload")
+    if name not in WORKLOAD_BUILDERS:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_BUILDERS)}"
+        )
+    builder, accepted = WORKLOAD_BUILDERS[name]
+    params = record.get("params") or {}
+    unknown = set(params) - set(accepted)
+    if unknown:
+        raise ValueError(f"unknown {name} params {sorted(unknown)}; accepted: {accepted}")
+    workload = builder(**params) if build else None
+    return (
+        record.get("id", default_id),
+        workload,
+        record.get("strategy", "fb"),
+        record.get("timeout"),
+    )
+
+
+def plan_digest(plans):
+    """Stable short digests of a plan set (sorted, whitespace-insensitive).
+
+    This is the protocol's plan-set signature: two responses describe the
+    same plan set iff their digest lists are equal, whichever transport or
+    engine produced them — the differential harness compares exactly this.
+    """
+    texts = sorted(" ".join(str(plan.query).split()) for plan in plans)
+    return [hashlib.sha256(text.encode("utf-8")).hexdigest()[:16] for text in texts]
+
+
+def encode_response(request_id, workload, strategy, response, checked=None):
+    """Serialize one service response as a JSONL record."""
+    record = {"id": request_id, "workload": workload.name, "strategy": strategy}
+    if not response.ok:
+        record["status"] = "error"
+        record["error"] = response.error
+        return record
+    result = response.result
+    record.update(
+        status="ok",
+        plan_count=result.plan_count,
+        plan_digests=plan_digest(result.plans),
+        total_time_s=round(result.total_time, 6),
+        timed_out=result.timed_out,
+        shard=response.metrics.shard,
+        session=response.metrics.session,
+        cache_hits=response.metrics.cache_hits,
+        cache_misses=response.metrics.cache_misses,
+        memo_hits=response.metrics.memo_hits,
+        memo_misses=response.metrics.memo_misses,
+        latency_s=round(response.metrics.latency, 6),
+    )
+    if checked is not None:
+        record["matches_single_shot"] = checked
+    return record
+
+
+def error_record(request_id, error):
+    """The typed record for a request that could not be decoded or executed."""
+    return {"id": request_id, "status": "error", "error": str(error)}
+
+
+def overloaded_record(request_id, error=None):
+    """The typed record for a request shed by admission control."""
+    record = {"id": request_id, "status": "overloaded"}
+    if error is not None:
+        record["detail"] = str(error)
+        shard = getattr(error, "shard", None)
+        if shard is not None:
+            record["shard"] = shard
+    return record
+
+
+__all__ = [
+    "WORKLOAD_BUILDERS",
+    "decode_request",
+    "encode_response",
+    "error_record",
+    "overloaded_record",
+    "plan_digest",
+]

@@ -200,8 +200,8 @@ class WaveScheduler:
 
 def _evaluate_scheduled_chunk(payload):
     """Unpack one batched backchase chunk and evaluate it in-process."""
-    context, keys, deadline, cache = payload
-    return _evaluate_chunk(context, keys, deadline, cache)
+    context, keys, deadline, cache, memo = payload
+    return _evaluate_chunk(context, keys, deadline, cache, memo=memo)
 
 
 class ScheduledPool:
@@ -225,11 +225,13 @@ class ScheduledPool:
         self.workers = scheduler.workers
         self._context = None
         self._cache = None
+        self._memo = None
 
-    def start(self, context, cache):
+    def start(self, context, cache, memo=None):
         context.request_id = self.request_id
         self._context = context
         self._cache = cache
+        self._memo = memo
 
     def run_wave(self, keys, deadline, seed_entries=None):
         # seed_entries is ignored: chunks share the session cache directly.
@@ -237,7 +239,7 @@ class ScheduledPool:
         futures = self.scheduler.submit_many(
             self.request_id,
             _evaluate_scheduled_chunk,
-            [(self._context, chunk, deadline, self._cache) for chunk in chunks],
+            [(self._context, chunk, deadline, self._cache, self._memo) for chunk in chunks],
         )
         outcomes = [future.result() for future in futures]
         for outcome in outcomes:

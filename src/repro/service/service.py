@@ -42,6 +42,7 @@ import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from repro.errors import ServiceOverloaded
 from repro.chase.optimizer import STRATEGIES
 from repro.service.metrics import MetricsCollector, ServiceStats
 from repro.service.shard import Shard, shard_index
@@ -130,9 +131,18 @@ class OptimizerService:
     batch_window / max_batch:
         Wave coalescing knobs (see
         :class:`~repro.service.scheduler.WaveScheduler`).
+    max_queue_depth:
+        Admission bound per shard: maximum requests admitted at a time
+        (executing plus waiting for a runner thread).  Past it,
+        :meth:`submit` raises :class:`~repro.errors.ServiceOverloaded`
+        instead of queueing without bound (``None`` = unbounded, the
+        historical in-process behaviour).
     max_cache_entries:
         LRU bound for every per-constraint-set chase cache (``None`` =
         unbounded; set this for long-lived deployments).
+    max_memo_entries:
+        LRU bound for every session's containment memo (``None`` =
+        unbounded).
     max_sessions:
         LRU bound on warm sessions per shard (``None`` = unbounded; set
         this too for long-lived deployments serving many distinct
@@ -149,7 +159,9 @@ class OptimizerService:
         max_inflight=4,
         batch_window=0.001,
         max_batch=64,
+        max_queue_depth=None,
         max_cache_entries=None,
+        max_memo_entries=None,
         max_sessions=None,
         default_timeout=None,
     ):
@@ -164,7 +176,9 @@ class OptimizerService:
                 max_inflight=max_inflight,
                 batch_window=batch_window,
                 max_batch=max_batch,
+                max_queue_depth=max_queue_depth,
                 max_cache_entries=max_cache_entries,
+                max_memo_entries=max_memo_entries,
                 max_sessions=max_sessions,
             )
             for shard_id in range(shards)
@@ -191,6 +205,10 @@ class OptimizerService:
         The future always resolves to a response — engine failures are
         reported on ``response.error`` rather than raised, so a JSONL batch
         over a mixed workload degrades per-request instead of aborting.
+        Admission is the exception: past a shard's ``max_queue_depth`` the
+        call raises :class:`~repro.errors.ServiceOverloaded` *synchronously*
+        (no future exists — nothing was admitted), so callers can shed or
+        retry immediately.
         """
         request = ServiceRequest(
             query=query,
@@ -206,7 +224,11 @@ class OptimizerService:
                 raise RuntimeError("OptimizerService is shut down")
             shard = self._shards[shard_index(request.resolved_constraints(), len(self._shards))]
         pending = _PendingRequest(request)
-        shard.submit(request, self._make_resolver(pending))
+        try:
+            shard.submit(request, self._make_resolver(pending))
+        except ServiceOverloaded:
+            self._metrics.record_rejection()
+            raise
         return pending.future
 
     def submit_many(self, requests):
@@ -245,14 +267,59 @@ class OptimizerService:
         return shard_index(deps, len(self._shards))
 
     def stats(self):
-        """Service-wide snapshot: shards, caches, batching, latencies."""
-        requests, errors, latencies = self._metrics.snapshot()
+        """Service-wide snapshot: shards, caches, memos, queues, latencies."""
+        requests, errors, rejected, latencies = self._metrics.snapshot()
         return ServiceStats(
             shards=[shard.stats() for shard in self._shards],
             requests=requests,
             errors=errors,
+            rejected=rejected,
             latencies=latencies,
         )
+
+    # ------------------------------------------------------------------ #
+    # cache persistence (warm restarts)
+    # ------------------------------------------------------------------ #
+    def save_caches(self, path):
+        """Pickle every shard's warm sessions (chase caches + memos) to ``path``.
+
+        Returns the number of sessions saved.  The snapshot is what a
+        restarted server :meth:`load_caches` from, so its first requests run
+        against already-chased fixpoints and already-decided containment
+        verdicts.  Take it at drain time (the CLI's ``--snapshot`` does) —
+        concurrent traffic is safe but the snapshot may miss its entries.
+        """
+        import pickle
+
+        sessions = []
+        for shard in self._shards:
+            for signature, label, registry, memo in shard.export_sessions():
+                sessions.append(
+                    {"signature": signature, "label": label, "registry": registry, "memo": memo}
+                )
+        with open(path, "wb") as handle:
+            pickle.dump({"version": 1, "sessions": sessions}, handle)
+        return len(sessions)
+
+    def load_caches(self, path):
+        """Restore a :meth:`save_caches` snapshot into this service's shards.
+
+        Each session is re-routed by its constraint-set signature (the same
+        :func:`~repro.service.shard.shard_index` admission uses), so the
+        shard count may differ from the saving process's.  Returns the
+        number of sessions restored.
+        """
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        for entry in payload["sessions"]:
+            constraints = list(entry["signature"])
+            shard = self._shards[shard_index(constraints, len(self._shards))]
+            shard.restore_session(
+                entry["signature"], entry["label"], entry["registry"], entry["memo"]
+            )
+        return len(payload["sessions"])
 
     def shutdown(self, wait=True):
         """Drain every shard and release the pools (idempotent)."""

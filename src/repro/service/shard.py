@@ -6,9 +6,18 @@ cross-query wave batching), a small pool of *runner* threads that execute
 whole requests, and a registry of :class:`ShardSession` objects — one per
 distinct constraint-set signature routed to the shard.  A session holds the
 warm :class:`~repro.chase.implication.ChaseCacheRegistry` whose chase
-fixpoints survive across requests; since the admission layer routes a
-catalog to the same shard every time, the second request against a catalog
-finds the first one's fixpoints already cached.
+fixpoints survive across requests *and* the warm
+:class:`~repro.cq.memo.ContainmentMemo` whose containment verdicts do; since
+the admission layer routes a catalog to the same shard every time, the
+second request against a catalog finds the first one's fixpoints and
+verdicts already cached.
+
+Admission control: a shard accepts at most ``max_queue_depth`` requests at a
+time (queued on the runner pool plus executing).  Past the bound,
+:meth:`Shard.submit` raises :class:`~repro.errors.ServiceOverloaded` instead
+of buffering — bounded queues are what keep tail latency and memory flat
+under overload; callers (the socket front end) translate the rejection into
+a typed ``overloaded`` response the client can retry on.
 """
 
 from __future__ import annotations
@@ -20,8 +29,10 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.errors import ServiceOverloaded
 from repro.chase.implication import ChaseCacheRegistry, constraint_signature
 from repro.chase.optimizer import CBOptimizer
+from repro.cq.memo import ContainmentMemo
 from repro.service.metrics import RequestMetrics, ShardStats
 from repro.service.scheduler import ScheduledPool, WaveScheduler
 
@@ -50,6 +61,7 @@ class ShardSession:
     label: str
     signature: object
     registry: ChaseCacheRegistry
+    memo: ContainmentMemo
     requests: int = 0
     created_at: float = field(default_factory=time.monotonic)
 
@@ -67,10 +79,20 @@ class Shard:
         Runner threads, i.e. how many requests the shard executes
         concurrently (their wave chunks interleave on the scheduler — this
         is what creates cross-request waves).
+    max_queue_depth:
+        Admission bound: maximum requests admitted at a time (executing plus
+        waiting for a runner thread).  ``None`` (the default) preserves the
+        unbounded in-process behaviour; the socket front end sets it so an
+        overloaded server rejects instead of queueing without bound.  Must
+        be ``>= max_inflight`` to be useful (lower values just cap
+        concurrency earlier).
     max_cache_entries:
         LRU bound applied to every per-constraint-set
         :class:`~repro.chase.implication.ChaseCache` of every session
         (``None`` = unbounded).
+    max_memo_entries:
+        LRU bound on every session's containment memo (``None`` =
+        unbounded).
     max_sessions:
         LRU bound on warm sessions per shard (``None`` = unbounded).  A
         long-lived service receiving many distinct catalogs would otherwise
@@ -89,13 +111,21 @@ class Shard:
         max_inflight=4,
         batch_window=0.001,
         max_batch=64,
+        max_queue_depth=None,
         max_cache_entries=None,
+        max_memo_entries=None,
         max_sessions=None,
     ):
         if max_sessions is not None and max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1 or None, got {max_sessions!r}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth!r}"
+            )
         self.shard_id = shard_id
+        self.max_queue_depth = max_queue_depth
         self.max_cache_entries = max_cache_entries
+        self.max_memo_entries = max_memo_entries
         self.max_sessions = max_sessions
         self.scheduler = WaveScheduler(
             executor=executor,
@@ -110,6 +140,9 @@ class Shard:
         self._lock = threading.Lock()
         self._requests = 0
         self._sessions_evicted = 0
+        self._queue_depth = 0
+        self._queue_peak = 0
+        self._rejected = 0
 
     # ------------------------------------------------------------------ #
     # sessions
@@ -124,6 +157,7 @@ class Shard:
                     label=session_label(constraints),
                     signature=signature,
                     registry=ChaseCacheRegistry(max_entries=self.max_cache_entries),
+                    memo=ContainmentMemo(max_entries=self.max_memo_entries),
                 )
                 self._sessions[signature] = session
                 while self.max_sessions is not None and len(self._sessions) > self.max_sessions:
@@ -133,14 +167,73 @@ class Shard:
                 self._sessions.move_to_end(signature)
             return session
 
+    def export_sessions(self):
+        """Snapshot every warm session's persistent state (for save_caches).
+
+        Returns ``[(signature, label, registry, memo), ...]``; the signature
+        *is* the constraint set (a frozenset of dependencies), so a loader
+        can re-route each entry without extra bookkeeping.
+        """
+        with self._lock:
+            return [
+                (session.signature, session.label, session.registry, session.memo)
+                for session in self._sessions.values()
+            ]
+
+    def restore_session(self, signature, label, registry, memo):
+        """Install a previously exported session (idempotent per signature).
+
+        Loaded state replaces any existing session for the signature — the
+        loader runs at startup, before traffic, so nothing is in flight.
+        LRU bounds of this shard are re-applied to the loaded structures and
+        their accounting is zeroed: the restored process's stats (and the
+        warm-restart benchmark) describe *this* life, not the saving one's.
+        """
+        registry.max_entries = self.max_cache_entries
+        for cache in registry._caches.values():
+            cache.max_entries = self.max_cache_entries
+        registry.reset_counters()
+        memo.max_entries = self.max_memo_entries
+        memo.reset_counters()
+        with self._lock:
+            self._sessions[signature] = ShardSession(
+                label=label, signature=signature, registry=registry, memo=memo
+            )
+            while self.max_sessions is not None and len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+                self._sessions_evicted += 1
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def submit(self, request, on_done):
-        """Run ``request`` on a runner thread; resolve through ``on_done``."""
+        """Admit ``request`` onto a runner thread; resolve through ``on_done``.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` when the shard's
+        queue depth bound is reached — the request is *not* queued and
+        ``on_done`` will never be called for it.
+        """
         with self._lock:
+            if (
+                self.max_queue_depth is not None
+                and self._queue_depth >= self.max_queue_depth
+            ):
+                self._rejected += 1
+                raise ServiceOverloaded(
+                    f"shard {self.shard_id} is at its queue depth bound "
+                    f"({self._queue_depth}/{self.max_queue_depth})",
+                    shard=self.shard_id,
+                    queue_depth=self._queue_depth,
+                )
             self._requests += 1
-        return self._runner.submit(self._execute, request, on_done)
+            self._queue_depth += 1
+            self._queue_peak = max(self._queue_peak, self._queue_depth)
+        try:
+            return self._runner.submit(self._execute, request, on_done)
+        except BaseException:
+            with self._lock:
+                self._queue_depth -= 1
+            raise
 
     def _execute(self, request, on_done):
         start = time.perf_counter()
@@ -151,11 +244,13 @@ class Shard:
             with self._lock:
                 session.requests += 1
             stats_before = session.registry.stats()
+            memo_before = (session.memo.hits, session.memo.misses)
             optimizer = CBOptimizer(
                 catalog=request.catalog,
                 constraints=request.constraints,
                 timeout=request.timeout,
                 cache_registry=session.registry,
+                containment_memo=session.memo,
                 pool=ScheduledPool(self.scheduler, request.request_id),
             )
             result = optimizer.optimize(request.query, strategy=request.strategy)
@@ -169,9 +264,11 @@ class Shard:
                 plan_count=result.plan_count,
                 cache_hits=registry_stats["hits"] - stats_before["hits"],
                 cache_misses=registry_stats["misses"] - stats_before["misses"],
+                memo_hits=session.memo.hits - memo_before[0],
+                memo_misses=session.memo.misses - memo_before[1],
                 timed_out=result.timed_out,
             )
-            on_done(request, result, metrics, None)
+            outcome = (result, metrics, None)
         except Exception as exc:  # noqa: BLE001 - reported on the response
             metrics = RequestMetrics(
                 request_id=request.request_id,
@@ -181,27 +278,42 @@ class Shard:
                 latency=time.perf_counter() - start,
                 error=str(exc),
             )
-            on_done(request, None, metrics, exc)
+            outcome = (None, metrics, exc)
+        # Release the admission slot *before* resolving the future: a caller
+        # that wakes from future.result() and immediately submits again must
+        # find the capacity its completed request held already freed.
+        with self._lock:
+            self._queue_depth -= 1
+        on_done(request, *outcome)
 
     # ------------------------------------------------------------------ #
     # stats / lifecycle
     # ------------------------------------------------------------------ #
     def stats(self):
-        """Snapshot this shard's sessions, batching and cache counters."""
+        """Snapshot this shard's sessions, batching, queue and cache counters."""
         with self._lock:
             sessions = list(self._sessions.values())
             requests = self._requests
             sessions_evicted = self._sessions_evicted
+            queue_depth = self._queue_depth
+            queue_peak = self._queue_peak
+            rejected = self._rejected
         scheduler = self.scheduler.stats()
         cache = {"caches": 0, "entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+        memo = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
         for session in sessions:
             for key, value in session.registry.stats().items():
                 cache[key] += value
+            for key, value in session.memo.stats().items():
+                memo[key] += value
         return ShardStats(
             shard=self.shard_id,
             sessions=len(sessions),
             sessions_evicted=sessions_evicted,
             requests=requests,
+            queue_depth=queue_depth,
+            queue_peak=queue_peak,
+            rejected=rejected,
             waves=scheduler.waves,
             batched_items=scheduler.items,
             cross_request_waves=scheduler.cross_request_waves,
@@ -210,6 +322,10 @@ class Shard:
             cache_hits=cache["hits"],
             cache_misses=cache["misses"],
             cache_evictions=cache["evictions"],
+            memo_entries=memo["entries"],
+            memo_hits=memo["hits"],
+            memo_misses=memo["misses"],
+            memo_evictions=memo["evictions"],
         )
 
     def shutdown(self, wait=True):

@@ -1,0 +1,156 @@
+"""Differential harness: every serving path produces the same plan sets.
+
+Three ways to optimize the same request:
+
+(a) **single-shot** — a fresh :class:`~repro.chase.optimizer.CBOptimizer`
+    per request (the library-call reference);
+(b) **in-process service** — :class:`~repro.service.OptimizerService` with
+    warm caches, containment memos and cross-query wave batching;
+(c) **socket** — the same service behind
+    :class:`~repro.service.OptimizerServer`, driven through
+    :class:`~repro.service.OptimizerClient` over TCP.
+
+All three must produce *identical plan-set signatures* for every request —
+the protocol's :func:`~repro.service.protocol.plan_digest` — including on
+warm repeats (second round hits chase caches and memos), under zero-budget
+timeouts (every path falls back to the original query deterministically)
+and under aggressive cache/memo/session eviction.  This is the lockdown
+that makes later scaling PRs cheap to trust: any cache-soundness or
+protocol bug shows up as a digest mismatch here.
+"""
+
+import pytest
+
+from repro.service import OptimizerClient, OptimizerServer, OptimizerService
+from repro.service.protocol import WORKLOAD_BUILDERS, plan_digest
+
+#: (workload, params, strategy) — the request mix, covering every workload
+#: family and every strategy.  Each round repeats the whole mix, so rounds
+#: after the first run against warm caches and memos.
+MIX = [
+    ("ec1", {"relations": 2, "secondary_indexes": 1}, "fb"),
+    ("ec1", {"relations": 3, "secondary_indexes": 0}, "ocs"),
+    ("ec2", {"stars": 1, "corners": 3, "views": 1}, "fb"),
+    ("ec2", {"stars": 1, "corners": 3, "views": 2}, "oqf"),
+    ("ec3", {"classes": 3, "asrs": 0}, "fb"),
+    ("ec3", {"classes": 3, "asrs": 1}, "ocs"),
+]
+
+
+def _requests(rounds=2, timeout=None):
+    """Materialise ``rounds`` interleaved copies of the mix as workloads."""
+    requests = []
+    for _ in range(rounds):
+        for name, params, strategy in MIX:
+            builder, _ = WORKLOAD_BUILDERS[name]
+            requests.append((builder(**params), strategy, timeout))
+    return requests
+
+
+def _single_shot_digests(requests):
+    digests = []
+    for workload, strategy, timeout in requests:
+        result = workload.optimizer(timeout=timeout).optimize(workload.query, strategy=strategy)
+        assert result.plan_count >= 1
+        digests.append(plan_digest(result.plans))
+    return digests
+
+
+def _service_digests(requests, **service_kwargs):
+    digests = []
+    with OptimizerService(**service_kwargs) as service:
+        futures = [
+            service.submit(
+                workload.query, strategy=strategy, catalog=workload.catalog, timeout=timeout
+            )
+            for workload, strategy, timeout in requests
+        ]
+        for future in futures:
+            response = future.result()
+            assert response.ok, response.error
+            assert response.result.plan_count >= 1
+            digests.append(plan_digest(response.result.plans))
+    return digests
+
+
+def _socket_digests(requests, **service_kwargs):
+    records = []
+    for index, (workload, strategy, timeout) in enumerate(requests):
+        record = {
+            "id": f"d{index}",
+            "workload": workload.name.lower(),
+            "params": dict(workload.params),
+            "strategy": strategy,
+        }
+        if timeout is not None:
+            record["timeout"] = timeout
+        records.append(record)
+    with OptimizerServer(**service_kwargs) as server:
+        with OptimizerClient(port=server.port) as client:
+            responses = client.request_many(records, timeout=300)
+    digests = []
+    for record, response in zip(records, responses):
+        assert response["id"] == record["id"]
+        assert response["status"] == "ok", response
+        assert response["plan_count"] >= 1
+        digests.append(response["plan_digests"])
+    return digests
+
+
+class TestDifferentialPaths:
+    def test_all_three_paths_agree(self):
+        """Cold + warm rounds: single-shot == service == socket, per request."""
+        requests = _requests(rounds=2)
+        reference = _single_shot_digests(requests)
+        service = _service_digests(requests, shards=2, workers=2)
+        socket_path = _socket_digests(requests, shards=2, workers=2)
+        assert service == reference
+        assert socket_path == reference
+
+    def test_paths_agree_under_zero_budget_timeouts(self):
+        """timeout=0 falls back deterministically on every path, >= 1 plan."""
+        requests = _requests(rounds=2, timeout=0.0)
+        reference = _single_shot_digests(requests)
+        service = _service_digests(requests, shards=2, workers=2)
+        socket_path = _socket_digests(requests, shards=2, workers=2)
+        assert service == reference
+        assert socket_path == reference
+
+    def test_paths_agree_under_aggressive_eviction(self):
+        """Tiny cache/memo/session LRU bounds never change a plan set."""
+        requests = _requests(rounds=2)
+        reference = _single_shot_digests(requests)
+        bounds = dict(
+            shards=1,
+            workers=2,
+            max_cache_entries=2,
+            max_memo_entries=2,
+            max_sessions=2,
+        )
+        assert _service_digests(requests, **bounds) == reference
+        assert _socket_digests(requests, **bounds) == reference
+
+    def test_warm_round_actually_hits_memo_and_cache(self):
+        """The differential rounds exercise what they claim: warm reuse."""
+        requests = _requests(rounds=2)
+        with OptimizerService(shards=2, workers=2) as service:
+            for workload, strategy, timeout in requests:
+                service.submit(
+                    workload.query, strategy=strategy, catalog=workload.catalog, timeout=timeout
+                ).result().raise_for_error()
+            stats = service.stats()
+        assert stats.cache_hits > 0
+        assert stats.memo_hits > 0
+        assert stats.memo_hit_rate > 0.2  # round 2 re-decides round 1's pairs
+
+
+class TestDifferentialMixedStream:
+    @pytest.mark.parametrize("timeout", [None, 0.0])
+    def test_interleaved_timeouts_and_strategies_over_socket(self, timeout):
+        """A stream mixing budgets per request still matches single-shot."""
+        requests = []
+        for index, (workload, strategy, _) in enumerate(_requests(rounds=1)):
+            # Alternate: even requests get the parametrised budget, odd run free.
+            requests.append((workload, strategy, timeout if index % 2 == 0 else None))
+        reference = _single_shot_digests(requests)
+        assert _socket_digests(requests, shards=2, workers=2) == reference

@@ -6,8 +6,9 @@ from repro.chase.backchase import FullBackchase
 from repro.chase.chase import chase
 from repro.chase.implication import equivalent_under
 from repro.cq.congruence import CongruenceClosure
-from repro.cq.containment import is_equivalent
+from repro.cq.containment import find_containment_mapping, is_equivalent
 from repro.cq.homomorphism import find_homomorphisms
+from repro.cq.memo import ContainmentMemo
 from repro.cq.query import PCQuery
 from repro.engine.database import Database
 from repro.engine.executor import execute
@@ -146,6 +147,86 @@ def test_backchase_without_constraints_minimizes(query):
     for plan in result.plans:
         assert is_equivalent(plan.query, query)
         assert plan.query.size() <= query.size()
+
+
+# ---------------------------------------------------------------------- #
+# containment memo soundness (the serving layer's cross-request reuse)
+# ---------------------------------------------------------------------- #
+def _fresh_verdict(source, target):
+    """The reference semantics a memoised verdict must always reproduce."""
+    return find_containment_mapping(source, target) is not None
+
+
+@given(
+    st.lists(
+        st.tuples(random_chain_queries(), random_chain_queries()), min_size=1, max_size=10
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_memoised_verdict_equals_fresh_verdict(pairs):
+    # A tiny LRU bound forces evictions mid-sequence: verdicts answered from
+    # the memo, recomputed after eviction, and recomputed-then-rememoised must
+    # all equal the fresh find_containment_mapping verdict.
+    memo = ContainmentMemo(max_entries=3)
+    for source, target in pairs:
+        fresh = _fresh_verdict(source, target)
+        assert memo.check(source, target) == fresh
+        # Immediate re-query: answered from the memo (or rememoised), same verdict.
+        assert memo.check(source, target) == fresh
+    stats = memo.stats()
+    assert stats["hits"] + stats["misses"] == 2 * len(pairs)
+    assert stats["entries"] <= 3
+
+
+@given(st.lists(random_chain_queries(), min_size=2, max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_memo_stays_sound_across_eviction_boundaries(queries):
+    # Re-deciding the full pair matrix three times over a 2-entry memo makes
+    # every key cross the eviction boundary repeatedly; soundness must hold on
+    # every round (a stale or cross-wired entry would flip some verdict).
+    memo = ContainmentMemo(max_entries=2)
+    expected = {
+        (i, j): _fresh_verdict(source, target)
+        for i, source in enumerate(queries)
+        for j, target in enumerate(queries)
+    }
+    for _ in range(3):
+        for i, source in enumerate(queries):
+            for j, target in enumerate(queries):
+                assert memo.check(source, target) == expected[(i, j)]
+    distinct_keys = {
+        ContainmentMemo.key(source, target) for source in queries for target in queries
+    }
+    if len(distinct_keys) > 2:
+        assert memo.stats()["evictions"] > 0
+
+
+@given(random_chain_queries())
+@settings(max_examples=25, deadline=None)
+def test_backchase_with_memo_produces_identical_plans(query):
+    # The memo must be invisible to the engine: same plans, memo or not —
+    # including a warm second run answered largely from the memo.
+    baseline = FullBackchase(query, []).run(query)
+    memo = ContainmentMemo(max_entries=8)
+    first = FullBackchase(query, [], containment_memo=memo).run(query)
+    second = FullBackchase(query, [], containment_memo=memo).run(query)
+    reference = {plan.signature() for plan in baseline.plans}
+    assert {plan.signature() for plan in first.plans} == reference
+    assert {plan.signature() for plan in second.plans} == reference
+
+
+@given(random_chain_queries(), random_chain_queries())
+@settings(max_examples=40, deadline=None)
+def test_memo_key_is_structural(query, other):
+    # Two structurally identical queries (same signature) must share one memo
+    # entry; distinct signatures must not collide.
+    memo = ContainmentMemo()
+    memo.check(query, other)
+    assert memo.lookup(query, other) == _fresh_verdict(query, other)
+    if query.signature() == other.signature():
+        # Same canonical pair key: the reversed lookup answers from the same
+        # entry (and the verdict is symmetric for identical signatures).
+        assert memo.lookup(other, query) == memo.lookup(query, other)
 
 
 # ---------------------------------------------------------------------- #

@@ -306,9 +306,10 @@ class TestMetricsCollector:
                     request_id=number, shard=0, session="s", strategy="fb", latency=float(number)
                 )
             )
-        requests, errors, latencies = collector.snapshot()
+        requests, errors, rejected, latencies = collector.snapshot()
         assert requests == 5  # exact totals
         assert errors == 0
+        assert rejected == 0
         assert latencies == [3.0, 4.0]  # only the recent window is kept
 
 

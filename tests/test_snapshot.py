@@ -1,0 +1,129 @@
+"""Cache persistence: registry/service snapshots and warm restarts.
+
+Covers the persistence layer the serving mode's ``--snapshot`` flag drives:
+
+* :meth:`ChaseCacheRegistry.save` / :meth:`ChaseCacheRegistry.load` — the
+  low-level pickle round-trip (entries survive, bounds can be re-imposed);
+* :meth:`OptimizerService.save_caches` / :meth:`load_caches` — whole warm
+  sessions (chase caches + containment memos + the restriction tables
+  riding on pickled universal plans) re-routed by constraint signature,
+  also across a *different* shard count;
+* restart semantics — a loaded service serves entirely from warm state
+  (hit rates 1.0, counters zeroed to the new life) and produces plan sets
+  identical to the saving life's.
+"""
+
+import pickle
+
+from repro.chase.implication import ChaseCacheRegistry
+from repro.cq.memo import ContainmentMemo
+from repro.service import OptimizerService
+from repro.service.protocol import plan_digest
+from repro.workloads import build_ec1, build_ec2
+
+
+class TestRegistrySnapshot:
+    def test_save_load_round_trip(self, tmp_path):
+        workload = build_ec2(1, 3, 1)
+        constraints = workload.catalog.constraints()
+        registry = ChaseCacheRegistry()
+        cache = registry.for_constraints(constraints)
+        chased = cache.chase(workload.query)
+        path = tmp_path / "registry.pkl"
+        registry.save(path)
+
+        loaded = ChaseCacheRegistry.load(path)
+        assert len(loaded) == 1
+        warm = loaded.for_constraints(constraints)
+        assert len(warm) == len(cache)
+        # The loaded fixpoint answers without re-chasing.
+        result = warm.chase_result(workload.query)
+        assert result.query == chased
+        assert warm.hits == cache.hits + 1
+
+    def test_load_reimposes_bound(self, tmp_path):
+        workload = build_ec2(1, 3, 1)
+        constraints = workload.catalog.constraints()
+        registry = ChaseCacheRegistry()  # unbounded while saving
+        cache = registry.for_constraints(constraints)
+        cache.chase(workload.query)
+        path = tmp_path / "registry.pkl"
+        registry.save(path)
+
+        bounded = ChaseCacheRegistry.load(path, max_entries=1)
+        assert bounded.max_entries == 1
+        assert bounded.for_constraints(constraints).max_entries == 1
+
+    def test_memo_pickle_round_trip(self):
+        first = build_ec2(1, 3, 1).query
+        second = build_ec1(2, 1).query
+        memo = ContainmentMemo(max_entries=8)
+        expected = memo.check(first, first), memo.check(second, first)
+        clone = pickle.loads(pickle.dumps(memo))
+        assert clone.lookup(first, first) == expected[0]
+        assert clone.lookup(second, first) == expected[1]
+        assert len(clone) == len(memo)
+
+
+class TestServiceSnapshot:
+    MIX = [
+        (build_ec2(1, 3, 1), "fb"),
+        (build_ec2(1, 3, 2), "oqf"),
+        (build_ec1(2, 1), "ocs"),
+    ]
+
+    def _run(self, service):
+        digests = []
+        for workload, strategy in self.MIX * 2:  # two rounds: warm in-life too
+            response = service.submit(
+                workload.query, strategy=strategy, catalog=workload.catalog
+            ).result()
+            response.raise_for_error()
+            digests.append(plan_digest(response.result.plans))
+        return digests
+
+    def test_restarted_service_is_fully_warm_and_identical(self, tmp_path):
+        path = tmp_path / "sessions.pkl"
+        with OptimizerService(shards=2, workers=1) as saving:
+            reference = self._run(saving)
+            saved = saving.save_caches(path)
+        assert saved == len(self.MIX)  # one session per distinct catalog
+
+        with OptimizerService(shards=2, workers=1) as restarted:
+            assert restarted.load_caches(path) == saved
+            assert self._run(restarted) == reference
+            stats = restarted.stats()
+        # The new life serves entirely from persisted state, and its
+        # counters describe only this life (zeroed on load).
+        assert stats.cache_misses == 0
+        assert stats.memo_misses == 0
+        assert stats.cache_hits > 0
+        assert stats.memo_hits > 0
+
+    def test_snapshot_reroutes_across_different_shard_count(self, tmp_path):
+        path = tmp_path / "sessions.pkl"
+        with OptimizerService(shards=3, workers=1) as saving:
+            reference = self._run(saving)
+            saving.save_caches(path)
+
+        with OptimizerService(shards=1, workers=1) as restarted:
+            restarted.load_caches(path)
+            assert self._run(restarted) == reference
+            stats = restarted.stats()
+        assert stats.cache_misses == 0
+
+    def test_restrictions_travel_with_the_snapshot(self, tmp_path):
+        """The pickled universal plans carry their restriction memo tables."""
+        path = tmp_path / "sessions.pkl"
+        workload = build_ec2(1, 3, 1)
+        with OptimizerService(shards=1, workers=1) as saving:
+            saving.submit(workload.query, catalog=workload.catalog).result().raise_for_error()
+            saving.save_caches(path)
+
+        payload = pickle.loads(path.read_bytes())
+        tables = 0
+        for entry in payload["sessions"]:
+            for cache in entry["registry"]._caches.values():
+                for fixpoint in cache._cache.values():
+                    tables += len(fixpoint.__dict__.get("_restrictions") or ())
+        assert tables > 0  # the backchase's restrictions were persisted

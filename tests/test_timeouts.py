@@ -17,6 +17,7 @@ from repro.chase.backchase import FullBackchase, ParallelBackchase
 from repro.chase.chase import chase, deadline_passed
 from repro.chase.implication import ChaseCache
 from repro.errors import ChaseTimeout
+from repro.service import OptimizerClient, OptimizerServer, OptimizerService
 from repro.workloads.ec2 import build_ec2
 
 #: Grace allowed on top of the budget: deadline checks sit between dependency
@@ -116,3 +117,66 @@ class TestChaseDeadline:
         result = FullBackchase(workload.query, constraints, timeout=0.02).run(universal)
         assert result.timed_out
         assert result.elapsed <= 0.02 + EPSILON
+
+
+class TestServiceTimeouts:
+    """Timed-out requests through the serving paths still carry >= 1 plan.
+
+    The regression this pins down: a warm session answers the chase phase
+    from its cache (hit, zero cost), so the *backchase* is what runs out of
+    budget — a timed-out response must still fall back to >= 1 plan exactly
+    like the cold single-shot path, on the in-process service and through
+    the socket front end alike.
+    """
+
+    @pytest.mark.parametrize("strategy", ["fb", "oqf", "ocs"])
+    def test_in_process_service_zero_budget_keeps_plans(self, strategy):
+        workload = build_ec2(1, 3, 1)
+        with OptimizerService(shards=1, workers=1) as service:
+            # Warm the session first (no timeout), then hit it with a zero
+            # budget: the chase is a cache hit, the backchase times out.
+            service.submit(
+                workload.query, strategy=strategy, catalog=workload.catalog
+            ).result().raise_for_error()
+            for _ in range(2):
+                response = service.submit(
+                    workload.query,
+                    strategy=strategy,
+                    catalog=workload.catalog,
+                    timeout=0.0,
+                ).result()
+                assert response.ok, response.error
+                assert response.result.timed_out
+                assert response.result.plan_count >= 1
+
+    @pytest.mark.parametrize("strategy", ["fb", "oqf", "ocs"])
+    def test_socket_server_zero_budget_keeps_plans(self, strategy):
+        request = {
+            "workload": "ec2",
+            "params": {"stars": 1, "corners": 3, "views": 1},
+            "strategy": strategy,
+            "timeout": 0.0,
+        }
+        with OptimizerServer(shards=1, workers=1) as server:
+            with OptimizerClient(port=server.port) as client:
+                # Cold then warm: both zero-budget responses must carry plans.
+                for _ in range(2):
+                    record = client.request(dict(request), timeout=60)
+                    assert record["status"] == "ok", record
+                    assert record["timed_out"] is True
+                    assert record["plan_count"] >= 1
+                    assert record["plan_digests"]
+
+    def test_default_timeout_is_applied_by_the_server(self):
+        """A server-side default budget reaches requests that carry none."""
+        request = {
+            "workload": "ec2",
+            "params": {"stars": 1, "corners": 3, "views": 1},
+            "strategy": "fb",
+        }
+        with OptimizerServer(shards=1, workers=1, default_timeout=0.0) as server:
+            with OptimizerClient(port=server.port) as client:
+                record = client.request(request, timeout=60)
+        assert record["status"] == "ok", record
+        assert record["timed_out"] is True
+        assert record["plan_count"] >= 1
