@@ -3,24 +3,26 @@
 # Everything pins PYTHONPATH=src (the package is a src-layout project and the
 # test suites import `repro` directly).  `make test` is the fast unit suite;
 # `make bench` regenerates every figure/table benchmark and refreshes
-# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json;
-# `make bench-quick` runs just the parallel-backchase scaling benchmark at a
+# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json /
+# BENCH_PR6.json; `make bench-quick` runs the parallel-backchase scaling at a
 # reduced scale; `make serve-smoke` checks the in-process serving mode end
 # to end and `make serve-net-smoke` the TCP front end (server + client over
-# a real socket); `make tier1` is the full suite the CI driver runs.
+# a real socket); `make chaos-smoke` kills a snapshotting server with
+# SIGKILL mid-run and asserts the restart serves identical plans; `make
+# tier1` is the full suite the CI driver runs.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint serve-smoke serve-net-smoke tier1 all
+.PHONY: test bench bench-quick lint serve-smoke serve-net-smoke chaos-smoke tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not bench" tests
 
 # Benchmark suite: reproduces the paper's figures/tables and writes
-# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json with per-figure
-# wall-clock and counters.
+# BENCH_PR1.json / BENCH_PR2.json / BENCH_PR4.json / BENCH_PR5.json /
+# BENCH_PR6.json with per-figure wall-clock and counters.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m bench benchmarks
 
@@ -59,6 +61,49 @@ serve-net-smoke:
 	status=$$?; \
 	kill -TERM $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
 	rm -f .serve-net-smoke.port; \
+	exit $$status
+
+# Chaos smoke test: life 1 serves with a periodic cache snapshot AND
+# injected response-write faults (deterministic seed), so the retrying
+# client must replay dropped responses to pass --check; the server is then
+# killed with SIGKILL — no drain, no final snapshot.  Life 2 restarts from
+# whatever the background snapshot loop last wrote and must serve the same
+# workload with every plan set still matching a fresh single-shot optimize.
+chaos-smoke:
+	@rm -f .chaos-smoke.port .chaos-smoke.snap; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 0 \
+		--port-file .chaos-smoke.port --shards 2 --workers 2 \
+		--snapshot .chaos-smoke.snap --snapshot-interval 0.3 \
+		--fault-spec "server.write:0.15:4" --fault-seed 7 & \
+	server_pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .chaos-smoke.port ] && break; sleep 0.1; \
+	done; \
+	[ -s .chaos-smoke.port ] || { echo "server never bound"; kill $$server_pid; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli client \
+		--port $$(cat .chaos-smoke.port) --retries 8 \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null --check \
+		|| { echo "faulty life failed --check"; kill -9 $$server_pid; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		[ -s .chaos-smoke.snap ] && break; sleep 0.1; \
+	done; \
+	[ -s .chaos-smoke.snap ] || { echo "no snapshot before crash"; kill -9 $$server_pid; exit 1; }; \
+	kill -9 $$server_pid; wait $$server_pid 2>/dev/null; \
+	rm -f .chaos-smoke.port; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 0 \
+		--port-file .chaos-smoke.port --shards 2 --workers 2 \
+		--snapshot .chaos-smoke.snap & \
+	server_pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .chaos-smoke.port ] && break; sleep 0.1; \
+	done; \
+	[ -s .chaos-smoke.port ] || { echo "restart never bound"; kill $$server_pid; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli client \
+		--port $$(cat .chaos-smoke.port) --retries 8 \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null --check; \
+	status=$$?; \
+	kill -TERM $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
+	rm -f .chaos-smoke.port .chaos-smoke.snap; \
 	exit $$status
 
 # Everything, exactly as the tier-1 verification runs it.

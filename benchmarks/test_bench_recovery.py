@@ -1,0 +1,120 @@
+"""Fault-tolerance benchmark: crash recovery + retry overhead.
+
+Runs the crash-recovery experiment (three service lives plus a faulty socket
+phase, see :func:`repro.experiments.harness.measure_crash_recovery`) and
+records into ``BENCH_PR6.json``:
+
+* **recovery time** — snapshot load + replay seconds for a crash restart
+  (recovering the mid-life "periodic" snapshot a ``kill -9`` would leave
+  behind) and for a graceful restart (the drain-time snapshot);
+* **warm-hit rates** — cache/memo hit rates for both restart flavours.  The
+  crash restart is warm for every session the last background snapshot
+  caught and cold for the tail, so its hit rate sits strictly between cold
+  and graceful; the graceful restart replays essentially fully warm;
+* **retry overhead** — p50/p95 request latency through the TCP front end,
+  clean vs. under deterministic injected read/write faults with a retrying
+  client.
+
+Two hard correctness assertions back the numbers: neither a crash restart
+nor client retries may change a single plan digest (``plans_match`` /
+``retry_plans_match``).  ``BENCH_QUICK=1`` shrinks the mix and skips the
+scale-sensitive bars.
+"""
+
+import os
+
+from conftest import record_bench, report
+
+from repro.experiments.figures import crash_recovery
+
+BENCH_FILE = "BENCH_PR6.json"
+
+
+def test_crash_recovery(benchmark):
+    quick = bool(os.environ.get("BENCH_QUICK"))
+    repeats = 2 if quick else 6  # 6 x 7-config mix = 42 requests
+    result = benchmark.pedantic(
+        crash_recovery,
+        kwargs={"repeats": repeats, "shards": 2, "workers": 2, "timeout": 60},
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    measurement = result.measurement
+
+    # Correctness differentials: crashes and retries change no plan.
+    assert measurement.plans_match
+    assert measurement.retry_plans_match
+    assert measurement.errors == 0
+
+    # The fault schedule is deterministic and non-empty: the faulty socket
+    # pass really did lose responses, and the client really did replay.
+    assert measurement.faults_injected > 0
+    assert measurement.retry_replays >= measurement.faults_injected
+
+    # The periodic snapshot fired mid-warm-up, so the crash restart is only
+    # partially warm: strictly fewer sessions than the graceful snapshot,
+    # and a cold tail the graceful restart does not have.
+    assert 0 < measurement.sessions_periodic < measurement.sessions_graceful
+    assert measurement.graceful_cache_misses == 0
+    assert measurement.crash_cache_misses > measurement.graceful_cache_misses
+
+    if not quick:
+        assert measurement.request_count >= 40
+        # Warm-hit bars: even the crash restart answers most fixpoints from
+        # the snapshot; the graceful restart answers essentially all.
+        assert measurement.crash_cache_hit_rate > 0.5
+        assert measurement.graceful_cache_hit_rate > 0.9
+        assert measurement.graceful_memo_hit_rate > 0.9
+        # Recovering warm state must beat re-warming from scratch.  The bar
+        # is on *work*, not wall clock (this container is noisy): the crash
+        # restart recomputes only the fixpoints the periodic snapshot
+        # missed, strictly fewer than the cold warming life did.
+        assert measurement.crash_cache_misses < measurement.warm_cache_misses, (
+            f"crash restart recomputed {measurement.crash_cache_misses} fixpoints, "
+            f"not fewer than the cold warm-up's {measurement.warm_cache_misses}"
+        )
+
+    record_bench(
+        "crash_recovery",
+        wall_clock=measurement.warm_seconds
+        + measurement.crash_load_seconds
+        + measurement.crash_replay_seconds
+        + measurement.graceful_load_seconds
+        + measurement.graceful_replay_seconds,
+        counters={
+            "requests": measurement.request_count,
+            "distinct_configs": measurement.distinct_configs,
+            "shards": measurement.shards,
+            "workers": measurement.workers,
+            "warm_seconds": round(measurement.warm_seconds, 3),
+            "warm_cache_misses": measurement.warm_cache_misses,
+            "sessions_periodic": measurement.sessions_periodic,
+            "sessions_graceful": measurement.sessions_graceful,
+            "crash_load_seconds": round(measurement.crash_load_seconds, 3),
+            "crash_replay_seconds": round(measurement.crash_replay_seconds, 3),
+            "crash_cache_hit_rate": round(measurement.crash_cache_hit_rate, 4),
+            "crash_memo_hit_rate": round(measurement.crash_memo_hit_rate, 4),
+            "crash_cache_misses": measurement.crash_cache_misses,
+            "graceful_load_seconds": round(measurement.graceful_load_seconds, 3),
+            "graceful_replay_seconds": round(measurement.graceful_replay_seconds, 3),
+            "graceful_cache_hit_rate": round(measurement.graceful_cache_hit_rate, 4),
+            "graceful_memo_hit_rate": round(measurement.graceful_memo_hit_rate, 4),
+            "graceful_cache_misses": measurement.graceful_cache_misses,
+            "retry_requests": measurement.retry_requests,
+            "retry_replays": measurement.retry_replays,
+            "faults_injected": measurement.faults_injected,
+            "retry_clean_p50_ms": round(measurement.retry_clean_p50 * 1000, 2),
+            "retry_clean_p95_ms": round(measurement.retry_clean_p95 * 1000, 2),
+            "retry_faulty_p50_ms": round(measurement.retry_faulty_p50 * 1000, 2),
+            "retry_faulty_p95_ms": round(measurement.retry_faulty_p95 * 1000, 2),
+            "retry_overhead_p50_ms": round(measurement.retry_overhead_p50 * 1000, 2),
+            "retry_overhead_p95_ms": round(measurement.retry_overhead_p95 * 1000, 2),
+            "plans_match": measurement.plans_match,
+            "retry_plans_match": measurement.retry_plans_match,
+            "quick_mode": quick,
+        },
+        result=result,
+        bench_file=BENCH_FILE,
+        cpu_count=os.cpu_count(),
+    )

@@ -90,7 +90,13 @@ class ChaseCache:
         self._lock = threading.Lock()
 
     def __getstate__(self):
-        state = self.__dict__.copy()
+        # Copy the mutable containers under the lock: caches are pickled
+        # live by concurrent snapshots, and pickling an OrderedDict another
+        # thread is inserting into raises "mutated during iteration".
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_cache"] = OrderedDict(self._cache)
+            state["_log"] = list(self._log)
         del state["_lock"]
         return state
 
@@ -239,7 +245,10 @@ class ChaseCacheRegistry:
         self._lock = threading.Lock()
 
     def __getstate__(self):
-        state = self.__dict__.copy()
+        # Copy the cache table under the lock (see ChaseCache.__getstate__).
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_caches"] = dict(self._caches)
         del state["_lock"]
         return state
 

@@ -78,6 +78,10 @@ EXPERIMENTS = {
         figures.warm_restart,
         ("timeout", "workers", "shards", "repeats"),
     ),
+    "crash-recovery": (
+        figures.crash_recovery,
+        ("timeout", "workers", "shards", "repeats"),
+    ),
 }
 
 
@@ -146,6 +150,14 @@ def build_parser():
                 help="write the bound port to this file once listening "
                 "(for scripts using --port 0)",
             )
+            command.add_argument(
+                "--snapshot-interval",
+                type=float,
+                default=None,
+                help="with --port and --snapshot: background snapshot period "
+                "(s) — a kill -9 loses at most this much warm state; SIGUSR1 "
+                "triggers one immediately (default: snapshot at drain only)",
+            )
 
     client = subparsers.add_parser(
         "client", help="pipe a JSONL request file through a running TCP server"
@@ -171,6 +183,31 @@ def build_parser():
         "--stats",
         action="store_true",
         help="append a final JSONL line with the server's service-wide stats",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="replays per request on transient failures (connection reset, "
+        "torn frames, overload) with capped exponential backoff (default: 0)",
+    )
+    client.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        help="initial retry backoff in seconds (doubles per attempt)",
+    )
+    client.add_argument(
+        "--backoff-max",
+        type=float,
+        default=2.0,
+        help="backoff cap in seconds",
+    )
+    client.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="overall wall-clock budget (s) across all attempts of a request",
     )
     return parser
 
@@ -244,8 +281,30 @@ def _add_service_options(subparser):
     subparser.add_argument(
         "--snapshot",
         default=None,
-        help="cache snapshot file: loaded at startup when it exists, saved at "
-        "shutdown (warm restarts)",
+        help="cache snapshot file: loaded at startup when it exists (an "
+        "unusable or stale snapshot degrades to a cold start, never a "
+        "crash), saved at shutdown (warm restarts)",
+    )
+    subparser.add_argument(
+        "--overload-retry-after",
+        type=float,
+        default=None,
+        help="backoff hint (s) attached to 'overloaded' responses so "
+        "retrying clients wait exactly this long",
+    )
+    subparser.add_argument(
+        "--fault-spec",
+        default=None,
+        help="fault injection spec 'site:prob[:times],...' (sites: "
+        "server.read, server.write, shard.execute, snapshot.write, "
+        "snapshot.read; suffix the site with '!' to crash the runner "
+        "instead) — chaos testing only",
+    )
+    subparser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault-injection streams",
     )
     subparser.add_argument(
         "--timeout", type=float, default=None, help="default per-request budget (s)"
@@ -343,9 +402,16 @@ def _open_maybe(path, mode, fallback):
 
 def _build_service(args):
     """Construct the optimizer service from the shared service flags,
-    loading the ``--snapshot`` file when one exists (warm restart)."""
-    from repro.service import OptimizerService
+    loading the ``--snapshot`` file when one exists (warm restart).
 
+    Snapshot recovery never crashes the boot: a corrupt, truncated,
+    wrong-version or otherwise unusable snapshot is reported on stderr and
+    the service cold-starts (the recovery is counted in the stats)."""
+    from repro.service import FaultInjector, OptimizerService
+
+    fault_injector = None
+    if getattr(args, "fault_spec", None):
+        fault_injector = FaultInjector.from_spec(args.fault_spec, seed=args.fault_seed)
     service = OptimizerService(
         shards=args.shards,
         executor=args.executor,
@@ -356,9 +422,19 @@ def _build_service(args):
         max_memo_entries=args.max_memo_entries,
         max_sessions=args.max_sessions,
         default_timeout=args.timeout,
+        overload_retry_after=getattr(args, "overload_retry_after", None),
+        fault_injector=fault_injector,
     )
+    # The exists() guard keeps a first boot (no snapshot yet) from counting
+    # as a recovery; every other load failure degrades to a cold start.
     if args.snapshot and os.path.exists(args.snapshot):
-        service.load_caches(args.snapshot)
+        restored, error = service.recover_caches(args.snapshot)
+        if error is not None:
+            print(
+                f"warning: snapshot {args.snapshot!r} unusable "
+                f"({error}); starting cold",
+                file=sys.stderr,
+            )
     return service
 
 
@@ -497,6 +573,20 @@ def _run_socket_server(args, out):
             previous[signum] = signal.signal(signum, _signal_handler)
         except ValueError:  # not the main thread (e.g. under a test runner)
             pass
+    manager = None
+    if args.snapshot:
+        from repro.service import SnapshotManager
+
+        manager = SnapshotManager(
+            service,
+            args.snapshot,
+            interval=args.snapshot_interval,
+            on_error=lambda error: print(
+                f"warning: snapshot failed: {error}", file=sys.stderr
+            ),
+        )
+        manager.install_signal_handler()  # SIGUSR1 -> snapshot now
+        manager.start()  # periodic loop (no-op without --snapshot-interval)
     server = OptimizerServer(service, host=args.host, port=args.port)
     try:
         if args.port_file:
@@ -509,11 +599,15 @@ def _run_socket_server(args, out):
         )
         stop.wait()
         server.stop(drain=True)
-        _save_snapshot(service, args)
+        if manager is not None:
+            manager.stop(final_save=True)  # drain-time snapshot
         if args.stats:
             print(json.dumps({"stats": service.stats().as_dict()}), file=out, flush=True)
     finally:
         server.stop(drain=False)  # idempotent; covers the exception path
+        if manager is not None:
+            manager.stop(final_save=False)  # idempotent; exception path
+            manager.restore_signal_handler()
         service.shutdown()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
@@ -527,14 +621,23 @@ def _run_client(args, out):
     the server constructs the workloads anyway, so the client stays cheap),
     pipelined onto one connection, and reported in input order.
     """
+    from repro.errors import ProtocolError
     from repro.service import OptimizerClient
     from repro.service.protocol import WORKLOAD_BUILDERS
 
+    transient = (ProtocolError, ConnectionError, OSError)
     in_stream, close_in = _open_maybe(args.input, "r", sys.stdin)
     out_stream, close_out = _open_maybe(args.output, "w", out)
     failures = []
     try:
-        with OptimizerClient(host=args.host, port=args.port) as client:
+        with OptimizerClient(
+            host=args.host,
+            port=args.port,
+            retries=args.retries,
+            backoff_base=args.backoff_base,
+            backoff_max=args.backoff_max,
+            deadline=args.deadline,
+        ) as client:
             pending = []
             for number, line in enumerate(in_stream, start=1):
                 line = line.strip()
@@ -552,10 +655,25 @@ def _run_client(args, out):
                 record.setdefault("id", request_id)
                 if timeout is None and args.timeout is not None:
                     record["timeout"] = timeout = args.timeout
-                future = client.submit(record)
+                try:
+                    future = client.submit(record)
+                except transient:
+                    if not args.retries:
+                        raise
+                    future = None  # replay in the gather pass
                 pending.append((request_id, record, strategy, timeout, future))
             for request_id, record, strategy, timeout, future in pending:
-                response = future.result()
+                if future is None:
+                    response = client.request(record)
+                else:
+                    try:
+                        response = future.result()
+                    except transient:
+                        if not args.retries:
+                            raise
+                        response = client.request(record)
+                if response.get("status") == "overloaded" and args.retries:
+                    response = client.request(record)
                 status = response.get("status")
                 if status == "error":
                     failures.append(request_id)

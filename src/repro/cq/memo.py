@@ -57,7 +57,12 @@ class ContainmentMemo:
         self._lock = threading.Lock()
 
     def __getstate__(self):
-        state = self.__dict__.copy()
+        # Copy the verdict table under the lock: the memo is pickled live by
+        # concurrent snapshots, and pickling an OrderedDict another thread is
+        # inserting into raises "mutated during iteration".
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_verdicts"] = OrderedDict(self._verdicts)
         del state["_lock"]
         return state
 

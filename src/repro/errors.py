@@ -102,9 +102,111 @@ class ServiceOverloaded(ReproError):
         The shard that rejected the request.
     queue_depth:
         The depth observed at rejection time.
+    retry_after:
+        Optional hint (seconds) for how long a client should back off before
+        retrying; surfaced on the ``overloaded`` JSONL record and honoured by
+        :class:`~repro.service.client.OptimizerClient`.
     """
 
-    def __init__(self, message, shard=None, queue_depth=None):
+    def __init__(self, message, shard=None, queue_depth=None, retry_after=None):
         super().__init__(message)
         self.shard = shard
         self.queue_depth = queue_depth
+        self.retry_after = retry_after
+
+
+class ProtocolError(ReproError):
+    """Raised when a JSONL frame on the wire cannot be understood.
+
+    The client's reader thread raises this to every pending future when the
+    response stream desynchronises (a malformed or truncated line): once
+    framing is lost, no in-flight request on that connection can be matched
+    to a response, so the connection is torn down and the caller may retry
+    on a fresh one.
+    """
+
+
+class ConnectionLost(ReproError, ConnectionError):
+    """Raised to pending futures when the server connection goes away.
+
+    Subclasses :class:`ConnectionError` so callers that treated the untyped
+    historical failure (``ConnectionError("connection closed ...")``) keep
+    working; the retry layer treats it as transient.
+    """
+
+
+class SnapshotError(ReproError):
+    """Raised when a cache snapshot cannot be read or fails validation.
+
+    Covers every way an operator-supplied snapshot file can be unusable:
+    missing, truncated, unpicklable, failing its payload checksum, carrying
+    an unsupported version, or — per session — a constraint-set signature
+    that no longer matches its payload (staleness).  Loaders degrade to a
+    cold start instead of crashing the server at boot.
+
+    Attributes
+    ----------
+    path:
+        The snapshot file involved.
+    reason:
+        Short machine-readable cause (``"missing"``, ``"corrupt"``,
+        ``"checksum"``, ``"version"``, ``"stale"``, ``"io"``).
+    """
+
+    def __init__(self, message, path=None, reason=None):
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
+
+
+class RunnerCrash(ReproError):
+    """A shard runner thread died while executing a request.
+
+    The shard supervisor resolves the in-flight request's future with this
+    error (never a hung future), restarts the runner, and keeps serving.
+
+    Attributes
+    ----------
+    shard:
+        The shard whose runner died.
+    request_id:
+        The request that was executing when the runner died.
+    """
+
+    def __init__(self, message, shard=None, request_id=None):
+        super().__init__(message)
+        self.shard = shard
+        self.request_id = request_id
+
+
+class InjectedFault(ReproError):
+    """A transient failure raised by :class:`~repro.service.faults.FaultInjector`.
+
+    Derives from :class:`Exception`, so ordinary per-request error handling
+    (engine failure -> typed ``error`` response) absorbs it; IO sites treat
+    it as the corresponding IO failure (dropped connection, failed write).
+
+    Attributes
+    ----------
+    site:
+        The fault-injection site that fired (e.g. ``"server.write"``).
+    """
+
+    def __init__(self, message, site=None):
+        super().__init__(message)
+        self.site = site
+
+
+class InjectedCrash(BaseException):
+    """A fault-injected *crash*: sails through ``except Exception`` handlers.
+
+    Used by the chaos suite to kill a shard runner thread mid-request the
+    way a real unhandled executor failure would, exercising the supervisor's
+    detect/restart/fail-the-in-flight-request path.  Deliberately not a
+    :class:`ReproError` (nor an :class:`Exception`): anything that catches it
+    would defeat its purpose.
+    """
+
+    def __init__(self, message, site=None):
+        super().__init__(message)
+        self.site = site

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.chase.stratify import stratify_constraints
 from repro.experiments.harness import (
     measure_chase,
+    measure_crash_recovery,
     measure_execution,
     measure_parallel_scaling,
     measure_service_throughput,
@@ -486,6 +487,93 @@ def warm_restart(
             else float("inf"),
             round(measurement.cache_hit_rate_restart, 3),
             round(measurement.memo_hit_rate_restart, 3),
+            measurement.plans_match,
+        )
+    )
+    result.measurement = measurement
+    return result
+
+
+def crash_recovery(
+    repeats=6,
+    shards=2,
+    executor="threads",
+    workers=2,
+    timeout=DEFAULT_TIMEOUT,
+):
+    """Crash restart vs. graceful restart, and what client retries cost.
+
+    Three lives of the service run the mixed request list: a warming life
+    (with a mid-life "periodic" snapshot and a drain-time "graceful" one), a
+    crash-restart life recovering from the periodic snapshot — warm only for
+    the sessions the last background snapshot caught — and a graceful-restart
+    life replaying fully warm.  A final socket phase runs the records twice
+    through the TCP front end, clean and under deterministic injected
+    read/write faults with a retrying client, and reports the p50/p95 latency
+    overhead retries cost.  Both differentials (crash and retry) must leave
+    every plan digest unchanged.
+    """
+    measurement = measure_crash_recovery(
+        repeats=repeats,
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        timeout=timeout,
+    )
+    result = ExperimentResult(
+        f"Crash recovery and retry overhead [{measurement.request_count} requests, "
+        f"{measurement.distinct_configs} configs, {measurement.shards} shards, "
+        f"{measurement.executor} x{measurement.workers}]",
+        [
+            "life",
+            "load (s)",
+            "replay (s)",
+            "cache hit rate",
+            "memo hit rate",
+            "cache misses",
+            "plans match",
+        ],
+        notes=(
+            f"periodic snapshot caught {measurement.sessions_periodic}/"
+            f"{measurement.sessions_graceful} sessions; "
+            f"{measurement.faults_injected} faults injected, "
+            f"{measurement.retry_replays} replays over "
+            f"{measurement.retry_requests} socket requests; "
+            f"retry overhead p50 {measurement.retry_overhead_p50 * 1000:+.1f} ms, "
+            f"p95 {measurement.retry_overhead_p95 * 1000:+.1f} ms "
+            f"(digests identical: {measurement.retry_plans_match})"
+        ),
+    )
+    result.rows.append(
+        (
+            "warming (cold)",
+            0.0,
+            round(measurement.warm_seconds, 3),
+            0.0,
+            0.0,
+            "-",
+            True,
+        )
+    )
+    result.rows.append(
+        (
+            "crash restart (periodic snapshot)",
+            round(measurement.crash_load_seconds, 3),
+            round(measurement.crash_replay_seconds, 3),
+            round(measurement.crash_cache_hit_rate, 3),
+            round(measurement.crash_memo_hit_rate, 3),
+            measurement.crash_cache_misses,
+            measurement.plans_match,
+        )
+    )
+    result.rows.append(
+        (
+            "graceful restart (drain snapshot)",
+            round(measurement.graceful_load_seconds, 3),
+            round(measurement.graceful_replay_seconds, 3),
+            round(measurement.graceful_cache_hit_rate, 3),
+            round(measurement.graceful_memo_hit_rate, 3),
+            measurement.graceful_cache_misses,
             measurement.plans_match,
         )
     )

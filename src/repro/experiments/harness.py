@@ -511,8 +511,233 @@ def _same_bag(left, right):
     return canonical(left) == canonical(right)
 
 
+@dataclass
+class CrashRecoveryMeasurement:
+    """Fault-tolerance experiment: crash restart, graceful restart, retries.
+
+    Three service lives plus a socket phase:
+
+    * **warming** — a fresh service runs the mixed request list; a
+      *periodic* snapshot is taken mid-life (after the first
+      ``sessions_periodic`` catalogs warmed, simulating the background
+      :class:`~repro.service.snapshots.SnapshotManager` loop firing between
+      requests) and a *graceful* snapshot at drain time;
+    * **crash restart** — a new service recovers from the periodic snapshot
+      (what a ``kill -9`` leaves behind) and replays the full list: warm for
+      every session the snapshot caught, cold for the tail it missed;
+    * **graceful restart** — a new service loads the drain-time snapshot and
+      replays fully warm.
+
+    The socket phase runs the same records twice through the TCP front end —
+    once clean, once under deterministic injected read/write faults with a
+    retrying client — and reports the p50/p95 latency overhead that retries
+    cost.  ``plans_match`` / ``retry_plans_match`` assert the differential:
+    neither crashes nor retries may change a single plan digest.
+    """
+
+    request_count: int
+    distinct_configs: int
+    shards: int
+    executor: str
+    workers: int
+    warm_seconds: float
+    warm_cache_misses: int
+    sessions_periodic: int
+    sessions_graceful: int
+    crash_load_seconds: float
+    crash_replay_seconds: float
+    crash_cache_hit_rate: float
+    crash_memo_hit_rate: float
+    crash_cache_misses: int
+    graceful_load_seconds: float
+    graceful_replay_seconds: float
+    graceful_cache_hit_rate: float
+    graceful_memo_hit_rate: float
+    graceful_cache_misses: int
+    plans_match: bool
+    retry_requests: int
+    retry_replays: int
+    faults_injected: int
+    retry_clean_p50: float
+    retry_clean_p95: float
+    retry_faulty_p50: float
+    retry_faulty_p95: float
+    retry_plans_match: bool
+    errors: int = 0
+
+    @property
+    def retry_overhead_p50(self):
+        return self.retry_faulty_p50 - self.retry_clean_p50
+
+    @property
+    def retry_overhead_p95(self):
+        return self.retry_faulty_p95 - self.retry_clean_p95
+
+
+def measure_crash_recovery(
+    mix=None,
+    repeats=6,
+    shards=2,
+    executor="threads",
+    workers=2,
+    max_inflight=4,
+    timeout=None,
+    retry_rounds=2,
+    fault_seed=11,
+):
+    """Measure crash-restart vs. graceful-restart recovery and retry cost.
+
+    See :class:`CrashRecoveryMeasurement` for the protocol.  All fault
+    schedules are deterministic (seeded), so the plan-digest differentials
+    are hard assertions, not luck.
+    """
+    import os
+    import tempfile
+
+    from repro.service import FaultInjector, OptimizerClient, OptimizerServer, OptimizerService
+    from repro.service.metrics import percentile
+    from repro.service.protocol import plan_digest
+
+    mix = mix if mix is not None else default_service_mix()
+    requests = [config for _ in range(repeats) for config in mix]
+    service_kwargs = dict(
+        shards=shards,
+        executor=executor,
+        workers=workers,
+        max_inflight=max_inflight,
+        default_timeout=timeout,
+    )
+    # The "periodic" snapshot fires mid-warm-up: only the catalogs of the
+    # first part of round 1 made it in — exactly what a kill -9 between
+    # background snapshots leaves behind.
+    periodic_cut = max(1, (len(mix) + 1) // 2)
+
+    def run_requests(service, configs):
+        futures = [
+            service.submit(workload.query, strategy=strategy, catalog=workload.catalog)
+            for workload, strategy in configs
+        ]
+        responses = [future.result() for future in futures]
+        for response in responses:
+            response.raise_for_error()
+        return [plan_digest(response.result.plans) for response in responses]
+
+    def clear_process_caches():
+        # Both lives run in one process; a truly redeployed server starts with
+        # the module-level congruence caches empty, so recovery must be
+        # served only by what the snapshot persisted.
+        from repro.cq.query import _shared_congruence, _shared_saturated_congruence
+
+        _shared_congruence.cache_clear()
+        _shared_saturated_congruence.cache_clear()
+
+    handles = [
+        tempfile.NamedTemporaryFile(prefix=f"repro-{kind}-", suffix=".snap", delete=False)
+        for kind in ("periodic", "graceful")
+    ]
+    for handle in handles:
+        handle.close()
+    periodic_path, graceful_path = (handle.name for handle in handles)
+    try:
+        with OptimizerService(**service_kwargs) as warming:
+            warm_start = time.perf_counter()
+            baseline = run_requests(warming, requests[:periodic_cut])
+            sessions_periodic = warming.save_caches(periodic_path)
+            baseline += run_requests(warming, requests[periodic_cut:])
+            warm_seconds = time.perf_counter() - warm_start
+            sessions_graceful = warming.save_caches(graceful_path)
+            warming_stats = warming.stats()
+
+        def restart(path):
+            clear_process_caches()
+            with OptimizerService(**service_kwargs) as restarted:
+                load_start = time.perf_counter()
+                restored, error = restarted.recover_caches(path)
+                load_seconds = time.perf_counter() - load_start
+                assert error is None, f"recovery failed: {error}"
+                replay_start = time.perf_counter()
+                digests = run_requests(restarted, requests)
+                replay_seconds = time.perf_counter() - replay_start
+                stats = restarted.stats()
+            return load_seconds, replay_seconds, digests, stats
+
+        crash_load, crash_replay, crash_digests, crash_stats = restart(periodic_path)
+        graceful_load, graceful_replay, graceful_digests, graceful_stats = restart(
+            graceful_path
+        )
+    finally:
+        for path in (periodic_path, graceful_path):
+            if os.path.exists(path):
+                os.unlink(path)
+
+    plans_match = baseline == crash_digests == graceful_digests
+
+    # Socket phase: the same records clean vs. under injected faults with a
+    # retrying client — the latency delta is the price of resilience.
+    records = [
+        {"workload": workload.name.lower(), "params": workload.params, "strategy": strategy}
+        for workload, strategy in mix
+    ] * retry_rounds
+
+    def run_socket(faults):
+        latencies, digests, replays = [], [], 0
+        with OptimizerServer(fault_injector=faults, **service_kwargs) as server:
+            with OptimizerClient(
+                port=server.port, retries=8, backoff_base=0.01, backoff_seed=0
+            ) as client:
+                for record in records:
+                    start = time.perf_counter()
+                    response = client.request(dict(record))
+                    latencies.append(time.perf_counter() - start)
+                    assert response["status"] == "ok", response
+                    digests.append(response["plan_digests"])
+                replays = client.replays
+        return latencies, digests, replays
+
+    clean_latencies, clean_digests, _ = run_socket(None)
+    faults = (
+        FaultInjector(seed=fault_seed)
+        .rule("server.write", probability=0.3, times=3)
+        .rule("server.read", probability=0.3, times=2, after=1)
+    )
+    faulty_latencies, faulty_digests, retry_replays = run_socket(faults)
+
+    return CrashRecoveryMeasurement(
+        request_count=len(requests),
+        distinct_configs=len(mix),
+        shards=shards,
+        executor=executor,
+        workers=1 if executor == "serial" else resolve_worker_count(workers),
+        warm_seconds=warm_seconds,
+        warm_cache_misses=warming_stats.cache_misses,
+        sessions_periodic=sessions_periodic,
+        sessions_graceful=sessions_graceful,
+        crash_load_seconds=crash_load,
+        crash_replay_seconds=crash_replay,
+        crash_cache_hit_rate=crash_stats.cache_hit_rate,
+        crash_memo_hit_rate=crash_stats.memo_hit_rate,
+        crash_cache_misses=crash_stats.cache_misses,
+        graceful_load_seconds=graceful_load,
+        graceful_replay_seconds=graceful_replay,
+        graceful_cache_hit_rate=graceful_stats.cache_hit_rate,
+        graceful_memo_hit_rate=graceful_stats.memo_hit_rate,
+        graceful_cache_misses=graceful_stats.cache_misses,
+        plans_match=plans_match,
+        retry_requests=len(records),
+        retry_replays=retry_replays,
+        faults_injected=faults.total_injected(),
+        retry_clean_p50=percentile(clean_latencies, 0.50),
+        retry_clean_p95=percentile(clean_latencies, 0.95),
+        retry_faulty_p50=percentile(faulty_latencies, 0.50),
+        retry_faulty_p95=percentile(faulty_latencies, 0.95),
+        retry_plans_match=clean_digests == faulty_digests,
+        errors=warming_stats.errors + crash_stats.errors + graceful_stats.errors,
+    )
+
+
 __all__ = [
     "ChaseMeasurement",
+    "CrashRecoveryMeasurement",
     "ExecutionMeasurement",
     "ParallelBackchaseMeasurement",
     "ServiceThroughputMeasurement",
@@ -520,6 +745,7 @@ __all__ = [
     "WarmRestartMeasurement",
     "default_service_mix",
     "measure_chase",
+    "measure_crash_recovery",
     "measure_execution",
     "measure_parallel_scaling",
     "measure_service_throughput",

@@ -24,22 +24,47 @@ Modules
     and the client.
 ``server`` / ``client``
     The TCP front end: JSONL over a socket with graceful drain, typed
-    overload responses, and id-based response demultiplexing.
+    overload responses, and id-based response demultiplexing; the client
+    adds reconnect, bounded retries with capped exponential backoff, and
+    deadline-aware give-up.
+``snapshots``
+    Crash-safe cache persistence: atomic checksummed snapshots with
+    constraint-signature staleness detection, periodic + SIGUSR1-triggered
+    snapshotting.
+``faults``
+    Deterministic, seedable fault injection threaded through the server,
+    shards and snapshot IO — the chaos suite's backbone.
 """
 
-from repro.errors import ServiceOverloaded
+from repro.errors import (
+    ConnectionLost,
+    InjectedCrash,
+    InjectedFault,
+    ProtocolError,
+    RunnerCrash,
+    ServiceOverloaded,
+    SnapshotError,
+)
 from repro.service.client import OptimizerClient
+from repro.service.faults import FaultInjector
 from repro.service.metrics import RequestMetrics, ServiceStats, ShardStats, percentile
 from repro.service.scheduler import SERVICE_EXECUTORS, ScheduledPool, WaveScheduler
 from repro.service.server import OptimizerServer
 from repro.service.service import OptimizerService, ServiceRequest, ServiceResponse
 from repro.service.shard import Shard, ShardSession, shard_index
+from repro.service.snapshots import SnapshotManager, read_snapshot, write_snapshot
 
 __all__ = [
+    "ConnectionLost",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedFault",
     "OptimizerClient",
     "OptimizerServer",
     "OptimizerService",
+    "ProtocolError",
     "RequestMetrics",
+    "RunnerCrash",
     "SERVICE_EXECUTORS",
     "ScheduledPool",
     "ServiceOverloaded",
@@ -49,7 +74,11 @@ __all__ = [
     "Shard",
     "ShardSession",
     "ShardStats",
+    "SnapshotError",
+    "SnapshotManager",
     "WaveScheduler",
     "percentile",
+    "read_snapshot",
     "shard_index",
+    "write_snapshot",
 ]

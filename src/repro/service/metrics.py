@@ -62,7 +62,10 @@ class ShardStats:
     ``queue_depth`` is the *current* admitted-request gauge (queued on the
     runner pool plus executing), ``queue_peak`` its high-water mark and
     ``rejected`` the requests shed at admission
-    (:class:`~repro.errors.ServiceOverloaded`).
+    (:class:`~repro.errors.ServiceOverloaded`).  ``runner_failures`` counts
+    requests whose runner thread died executing them (each resolved with a
+    typed :class:`~repro.errors.RunnerCrash`), ``runner_restarts`` the
+    replacement runners the supervisor spawned.
     """
 
     shard: int
@@ -80,6 +83,8 @@ class ShardStats:
     queue_depth: int = 0
     queue_peak: int = 0
     rejected: int = 0
+    runner_restarts: int = 0
+    runner_failures: int = 0
     memo_entries: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
@@ -103,13 +108,19 @@ class ServiceStats:
     ``latencies`` (and therefore the percentiles) cover the collector's
     most recent bounded window; ``requests``/``errors``/``rejected`` are
     exact totals (rejected requests never execute, so they appear in no
-    other counter).
+    other counter).  ``recoveries`` counts cold-start recoveries after a
+    snapshot that could not be loaded (missing/corrupt/wrong version) and
+    ``stale_sessions`` the per-session loads skipped because their
+    constraint-set signature no longer matched the snapshot manifest.
     """
 
     shards: list = field(default_factory=list)
     requests: int = 0
     errors: int = 0
     rejected: int = 0
+    recoveries: int = 0
+    stale_sessions: int = 0
+    snapshots_loaded: int = 0
     latencies: list = field(default_factory=list, repr=False)
 
     @property
@@ -155,6 +166,14 @@ class ServiceStats:
         return sum(shard.queue_peak for shard in self.shards)
 
     @property
+    def runner_restarts(self):
+        return sum(shard.runner_restarts for shard in self.shards)
+
+    @property
+    def runner_failures(self):
+        return sum(shard.runner_failures for shard in self.shards)
+
+    @property
     def waves(self):
         return sum(shard.waves for shard in self.shards)
 
@@ -181,6 +200,11 @@ class ServiceStats:
             "sessions_evicted": sum(shard.sessions_evicted for shard in self.shards),
             "queue_depth": self.queue_depth,
             "queue_peak": self.queue_peak,
+            "runner_restarts": self.runner_restarts,
+            "runner_failures": self.runner_failures,
+            "recoveries": self.recoveries,
+            "stale_sessions": self.stale_sessions,
+            "snapshots_loaded": self.snapshots_loaded,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
@@ -211,6 +235,9 @@ class MetricsCollector:
         self._requests = 0
         self._errors = 0
         self._rejected = 0
+        self._recoveries = 0
+        self._stale_sessions = 0
+        self._snapshots_loaded = 0
 
     def record(self, metrics):
         with self._lock:
@@ -224,10 +251,30 @@ class MetricsCollector:
         with self._lock:
             self._rejected += 1
 
+    def record_recovery(self):
+        """Count a cold-start recovery from an unusable snapshot."""
+        with self._lock:
+            self._recoveries += 1
+
+    def record_stale_sessions(self, count):
+        """Count snapshot sessions skipped for a changed constraint signature."""
+        with self._lock:
+            self._stale_sessions += count
+
+    def record_snapshot_load(self, sessions):
+        """Count one successful snapshot load (``sessions`` restored)."""
+        with self._lock:
+            self._snapshots_loaded += 1
+
     def snapshot(self):
         """Return ``(requests, errors, rejected, recent latencies)`` as copies."""
         with self._lock:
             return self._requests, self._errors, self._rejected, list(self._latencies)
+
+    def recovery_snapshot(self):
+        """Return ``(recoveries, stale_sessions, snapshots_loaded)``."""
+        with self._lock:
+            return self._recoveries, self._stale_sessions, self._snapshots_loaded
 
 
 __all__ = [

@@ -87,6 +87,9 @@ def encode_response(request_id, workload, strategy, response, checked=None):
     if not response.ok:
         record["status"] = "error"
         record["error"] = response.error
+        error_type = getattr(response, "error_type", None)
+        if error_type is not None:
+            record["error_type"] = error_type
         return record
     result = response.result
     record.update(
@@ -110,17 +113,29 @@ def encode_response(request_id, workload, strategy, response, checked=None):
 
 def error_record(request_id, error):
     """The typed record for a request that could not be decoded or executed."""
-    return {"id": request_id, "status": "error", "error": str(error)}
+    record = {"id": request_id, "status": "error", "error": str(error)}
+    if isinstance(error, BaseException):
+        record["error_type"] = type(error).__name__
+    return record
 
 
 def overloaded_record(request_id, error=None):
-    """The typed record for a request shed by admission control."""
+    """The typed record for a request shed by admission control.
+
+    When the service advertises a backoff hint
+    (``ServiceOverloaded.retry_after``), it rides along as ``retry_after``
+    so retrying clients wait exactly as long as the operator configured
+    instead of guessing.
+    """
     record = {"id": request_id, "status": "overloaded"}
     if error is not None:
         record["detail"] = str(error)
         shard = getattr(error, "shard", None)
         if shard is not None:
             record["shard"] = shard
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            record["retry_after"] = retry_after
     return record
 
 

@@ -36,7 +36,8 @@ import json
 import socket
 import threading
 
-from repro.errors import ServiceOverloaded
+from repro.errors import InjectedFault, ServiceOverloaded
+from repro.service.faults import maybe_fail
 from repro.service.protocol import decode_request, encode_response, error_record, overloaded_record
 from repro.service.service import OptimizerService
 
@@ -44,9 +45,10 @@ from repro.service.service import OptimizerService
 class _Connection:
     """Book-keeping for one client connection."""
 
-    def __init__(self, sock, address):
+    def __init__(self, sock, address, faults=None):
         self.sock = sock
         self.address = address
+        self.faults = faults
         self.write_lock = threading.Lock()
         self.pending = 0
         self.pending_lock = threading.Lock()
@@ -66,6 +68,16 @@ class _Connection:
 
     def send(self, record):
         """Write one JSONL record (thread-safe; drops on a dead socket)."""
+        try:
+            maybe_fail(self.faults, "server.write", detail=record.get("id"))
+        except InjectedFault:
+            # Simulated response lost in transit.  Dropping the record
+            # silently would leave the client waiting forever, so tear the
+            # connection down too: the client's reader observes the close
+            # (ConnectionLost), and a retrying client replays the request
+            # over a fresh connection.
+            self.abort()
+            return
         data = (json.dumps(record) + "\n").encode("utf-8")
         try:
             with self.write_lock:
@@ -75,6 +87,14 @@ class _Connection:
             # service (results are simply unobserved), matching how a JSONL
             # batch degrades per-request instead of aborting.
             pass
+
+    def abort(self):
+        """Hard-close the socket (fault injection / fatal read failure)."""
+        for closer in (lambda: self.sock.shutdown(socket.SHUT_RDWR), self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
 
 
 class OptimizerServer:
@@ -95,9 +115,30 @@ class OptimizerServer:
         Listen backlog for pending TCP connects.
     """
 
-    def __init__(self, service=None, host="127.0.0.1", port=0, backlog=32, **service_kwargs):
+    def __init__(
+        self,
+        service=None,
+        host="127.0.0.1",
+        port=0,
+        backlog=32,
+        fault_injector=None,
+        **service_kwargs,
+    ):
         self._owns_service = service is None
-        self.service = service if service is not None else OptimizerService(**service_kwargs)
+        if service is None:
+            # One injector covers the whole stack: a server-owned service
+            # inherits the server's injector, so a single FaultInjector
+            # reaches shard.execute/snapshot.* as well as server.read/write.
+            service_kwargs.setdefault("fault_injector", fault_injector)
+            service = OptimizerService(**service_kwargs)
+        self.service = service
+        # Symmetrically, a server that isn't handed its own injector adopts
+        # the (pre-built) service's, so the CLI configures faults in one spot.
+        self.fault_injector = (
+            fault_injector
+            if fault_injector is not None
+            else getattr(self.service, "fault_injector", None)
+        )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -125,7 +166,7 @@ class OptimizerServer:
                 sock, address = self._listener.accept()
             except OSError:
                 return  # listener closed by stop()
-            connection = _Connection(sock, address)
+            connection = _Connection(sock, address, faults=self.fault_injector)
             with self._connections_lock:
                 self._connections.append(connection)
             handler = threading.Thread(
@@ -166,6 +207,13 @@ class OptimizerServer:
                 line = line.strip()
                 if not line or line.startswith("#"):
                     continue
+                try:
+                    maybe_fail(self.fault_injector, "server.read", detail=number)
+                except InjectedFault:
+                    # Simulated torn read: drop the connection as a real
+                    # recv() failure would.  Requests admitted earlier still
+                    # drain; the client reconnects and replays this one.
+                    break
                 self._handle_line(connection, line, number)
         except OSError:
             pass  # connection reset mid-read; in-flight work still completes

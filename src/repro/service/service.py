@@ -85,12 +85,16 @@ class ServiceResponse:
 
     ``result`` is the engine's :class:`~repro.chase.optimizer.OptimizationResult`
     (``None`` on error); ``metrics`` the per-request service accounting.
+    ``error_type`` carries the failure's exception class name (e.g.
+    ``"RunnerCrash"``, ``"ChaseTimeout"``) so callers and the JSONL
+    protocol can distinguish failure modes without parsing messages.
     """
 
     request_id: object
     result: object = None
     metrics: object = None
     error: str | None = None
+    error_type: str | None = None
 
     @property
     def ok(self):
@@ -109,6 +113,11 @@ class _PendingRequest:
 
     request: ServiceRequest
     future: Future = field(default_factory=Future)
+    _claim: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def claim(self):
+        """Atomically claim the right to resolve this request (once ever)."""
+        return self._claim.acquire(blocking=False)
 
 
 class OptimizerService:
@@ -149,6 +158,12 @@ class OptimizerService:
         catalogs).
     default_timeout:
         Per-request wall-clock budget applied when a request carries none.
+    overload_retry_after:
+        Optional back-off hint (seconds) attached to admission rejections;
+        surfaced on ``overloaded`` responses for retrying clients.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector` threaded
+        through shard execution and snapshot IO (chaos testing).
     """
 
     def __init__(
@@ -164,10 +179,13 @@ class OptimizerService:
         max_memo_entries=None,
         max_sessions=None,
         default_timeout=None,
+        overload_retry_after=None,
+        fault_injector=None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards!r}")
         self.default_timeout = default_timeout
+        self.fault_injector = fault_injector
         self._shards = [
             Shard(
                 shard_id,
@@ -180,6 +198,8 @@ class OptimizerService:
                 max_cache_entries=max_cache_entries,
                 max_memo_entries=max_memo_entries,
                 max_sessions=max_sessions,
+                overload_retry_after=overload_retry_after,
+                fault_injector=fault_injector,
             )
             for shard_id in range(shards)
         ]
@@ -242,6 +262,13 @@ class OptimizerService:
 
     def _make_resolver(self, pending):
         def on_done(request, result, metrics, exc):
+            # A request resolves exactly once: the normal completion path
+            # and a crashed runner's typed-failure path can both call the
+            # resolver, but only the claim winner records + resolves —
+            # counted *before* set_result, so a caller waking from
+            # future.result() already sees itself in the service totals.
+            if not pending.claim():
+                return
             self._metrics.record(metrics)
             pending.future.set_result(
                 ServiceResponse(
@@ -249,6 +276,7 @@ class OptimizerService:
                     result=result,
                     metrics=metrics,
                     error=None if exc is None else str(exc),
+                    error_type=None if exc is None else type(exc).__name__,
                 )
             )
 
@@ -269,27 +297,33 @@ class OptimizerService:
     def stats(self):
         """Service-wide snapshot: shards, caches, memos, queues, latencies."""
         requests, errors, rejected, latencies = self._metrics.snapshot()
+        recoveries, stale_sessions, snapshots_loaded = self._metrics.recovery_snapshot()
         return ServiceStats(
             shards=[shard.stats() for shard in self._shards],
             requests=requests,
             errors=errors,
             rejected=rejected,
+            recoveries=recoveries,
+            stale_sessions=stale_sessions,
+            snapshots_loaded=snapshots_loaded,
             latencies=latencies,
         )
 
     # ------------------------------------------------------------------ #
     # cache persistence (warm restarts)
     # ------------------------------------------------------------------ #
-    def save_caches(self, path):
-        """Pickle every shard's warm sessions (chase caches + memos) to ``path``.
+    def save_caches(self, path, faults=None):
+        """Snapshot every shard's warm sessions (chase caches + memos) to ``path``.
 
-        Returns the number of sessions saved.  The snapshot is what a
-        restarted server :meth:`load_caches` from, so its first requests run
-        against already-chased fixpoints and already-decided containment
-        verdicts.  Take it at drain time (the CLI's ``--snapshot`` does) —
-        concurrent traffic is safe but the snapshot may miss its entries.
+        Returns the number of sessions saved.  The write is crash-safe
+        (:func:`~repro.service.snapshots.write_snapshot`: temp file + fsync +
+        atomic rename, manifest with per-session constraint digests, payload
+        checksum), so it is safe to call from the periodic
+        :class:`~repro.service.snapshots.SnapshotManager` loop while traffic
+        is in flight — a concurrent snapshot may merely miss the newest
+        entries; it can never leave a torn file.
         """
-        import pickle
+        from repro.service.snapshots import write_snapshot
 
         sessions = []
         for shard in self._shards:
@@ -297,29 +331,64 @@ class OptimizerService:
                 sessions.append(
                     {"signature": signature, "label": label, "registry": registry, "memo": memo}
                 )
-        with open(path, "wb") as handle:
-            pickle.dump({"version": 1, "sessions": sessions}, handle)
-        return len(sessions)
+        return write_snapshot(
+            path, sessions, faults=faults if faults is not None else self.fault_injector
+        )
 
-    def load_caches(self, path):
+    def load_caches(self, path, faults=None):
         """Restore a :meth:`save_caches` snapshot into this service's shards.
 
         Each session is re-routed by its constraint-set signature (the same
         :func:`~repro.service.shard.shard_index` admission uses), so the
-        shard count may differ from the saving process's.  Returns the
-        number of sessions restored.
+        shard count may differ from the saving process's.  Sessions whose
+        constraint-set digest no longer matches the snapshot manifest are
+        *skipped* (stale: their fixpoints were computed under different
+        constraints) and counted in ``stats().stale_sessions``.  Returns the
+        number of sessions restored; raises
+        :class:`~repro.errors.SnapshotError` when the file itself is
+        missing, corrupt, fails its checksum, or has an unsupported version
+        (use :meth:`recover_caches` to degrade to a cold start instead).
         """
-        import pickle
+        from repro.service.snapshots import read_snapshot
 
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        for entry in payload["sessions"]:
+        _, entries = read_snapshot(
+            path, faults=faults if faults is not None else self.fault_injector
+        )
+        restored = 0
+        stale = 0
+        for entry, is_stale in entries:
+            if is_stale:
+                stale += 1
+                continue
             constraints = list(entry["signature"])
             shard = self._shards[shard_index(constraints, len(self._shards))]
             shard.restore_session(
                 entry["signature"], entry["label"], entry["registry"], entry["memo"]
             )
-        return len(payload["sessions"])
+            restored += 1
+        if stale:
+            self._metrics.record_stale_sessions(stale)
+        self._metrics.record_snapshot_load(restored)
+        return restored
+
+    def recover_caches(self, path):
+        """Load a snapshot, degrading to a cold start on *any* failure.
+
+        The crash-recovery contract of the serving layer: an unusable
+        snapshot (missing, truncated, checksum mismatch, wrong version) must
+        never crash the server at boot and never serve stale state — it
+        costs a recovery (counted in ``stats().recoveries``) and an empty
+        cache, nothing more.  Returns ``(sessions_restored, error)`` where
+        ``error`` is ``None`` on success or the
+        :class:`~repro.errors.SnapshotError` explaining the cold start.
+        """
+        from repro.errors import SnapshotError
+
+        try:
+            return self.load_caches(path), None
+        except SnapshotError as error:
+            self._metrics.record_recovery()
+            return 0, error
 
     def shutdown(self, wait=True):
         """Drain every shard and release the pools (idempotent)."""

@@ -1,4 +1,4 @@
-"""Shards: warm per-catalog sessions plus a request runner pool.
+"""Shards: warm per-catalog sessions plus a supervised request runner pool.
 
 A shard is the unit of placement in the optimizer service: it owns one
 :class:`~repro.service.scheduler.WaveScheduler` (persistent worker pool +
@@ -18,23 +18,40 @@ time (queued on the runner pool plus executing).  Past the bound,
 of buffering — bounded queues are what keep tail latency and memory flat
 under overload; callers (the socket front end) translate the rejection into
 a typed ``overloaded`` response the client can retry on.
+
+Supervision: runner threads are owned by the shard (not a
+``ThreadPoolExecutor``) and watched two ways.  A runner that dies with an
+unhandled executor failure (anything that escapes the per-request
+``except Exception`` — a ``BaseException``, an injected crash, a failure in
+the resolution path) reports itself: the in-flight request's future is
+resolved with a typed :class:`~repro.errors.RunnerCrash` (never a hung
+future), the admission slot is released exactly once, and a replacement
+runner is spawned before the thread exits.  A background supervisor sweep
+additionally detects runners that died *without* reporting (however
+improbable) and restarts them.  Both paths are counted
+(``runner_failures`` / ``runner_restarts``) and exported through
+:class:`~repro.service.metrics.ShardStats`.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 import zlib
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.errors import ServiceOverloaded
+from repro.errors import RunnerCrash, ServiceOverloaded
 from repro.chase.implication import ChaseCacheRegistry, constraint_signature
 from repro.chase.optimizer import CBOptimizer
 from repro.cq.memo import ContainmentMemo
+from repro.service.faults import maybe_fail
 from repro.service.metrics import RequestMetrics, ShardStats
 from repro.service.scheduler import ScheduledPool, WaveScheduler
+
+#: Queue sentinel that makes a runner thread exit its loop.
+_SHUTDOWN = object()
 
 
 def shard_index(constraints, shard_count):
@@ -66,8 +83,24 @@ class ShardSession:
     created_at: float = field(default_factory=time.monotonic)
 
 
+class _RunnerTask:
+    """One admitted request travelling through the runner queue.
+
+    ``slot_released`` makes admission-slot release idempotent: the normal
+    completion path and the crash path can both reach it, but exactly one
+    decrements the gauge.
+    """
+
+    __slots__ = ("request", "on_done", "slot_released")
+
+    def __init__(self, request, on_done):
+        self.request = request
+        self.on_done = on_done
+        self.slot_released = False
+
+
 class Shard:
-    """One shard: scheduler + runner threads + warm sessions.
+    """One shard: scheduler + supervised runner threads + warm sessions.
 
     Parameters
     ----------
@@ -101,6 +134,14 @@ class Shard:
         request already running against it keeps its own reference and
         completes safely; the next request for that catalog simply starts
         cold again.
+    overload_retry_after:
+        Optional back-off hint (seconds) attached to admission rejections
+        and surfaced on ``overloaded`` responses for retrying clients.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector`; the shard
+        consults the ``shard.execute`` site once per executed request.
+    supervisor_interval:
+        Seconds between supervisor sweeps for silently-dead runners.
     """
 
     def __init__(
@@ -115,6 +156,9 @@ class Shard:
         max_cache_entries=None,
         max_memo_entries=None,
         max_sessions=None,
+        overload_retry_after=None,
+        fault_injector=None,
+        supervisor_interval=0.25,
     ):
         if max_sessions is not None and max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1 or None, got {max_sessions!r}")
@@ -127,15 +171,15 @@ class Shard:
         self.max_cache_entries = max_cache_entries
         self.max_memo_entries = max_memo_entries
         self.max_sessions = max_sessions
+        self.overload_retry_after = overload_retry_after
         self.scheduler = WaveScheduler(
             executor=executor,
             workers=workers,
             batch_window=batch_window,
             max_batch=max_batch,
         )
-        self._runner = ThreadPoolExecutor(
-            max_workers=max_inflight, thread_name_prefix=f"svc-shard{shard_id}"
-        )
+        self._faults = fault_injector
+        self._tasks = queue.SimpleQueue()
         self._sessions = OrderedDict()
         self._lock = threading.Lock()
         self._requests = 0
@@ -143,6 +187,18 @@ class Shard:
         self._queue_depth = 0
         self._queue_peak = 0
         self._rejected = 0
+        self._runner_restarts = 0
+        self._runner_failures = 0
+        self._runner_serial = 0
+        self._runners = []
+        self._stopping = threading.Event()
+        for _ in range(max_inflight):
+            self._spawn_runner()
+        self._supervisor_interval = supervisor_interval
+        self._supervisor = threading.Thread(
+            target=self._supervise, name=f"svc-shard{shard_id}-supervisor", daemon=True
+        )
+        self._supervisor.start()
 
     # ------------------------------------------------------------------ #
     # sessions
@@ -204,10 +260,93 @@ class Shard:
                 self._sessions_evicted += 1
 
     # ------------------------------------------------------------------ #
+    # runner pool + supervision
+    # ------------------------------------------------------------------ #
+    def _spawn_runner(self):
+        """Start one runner thread (must be called *without* the lock held).
+
+        Registration and start happen under the lock so the supervisor sweep
+        never observes a registered-but-not-yet-started thread (it would
+        read as dead and be spuriously replaced).
+        """
+        with self._lock:
+            self._runner_serial += 1
+            runner = threading.Thread(
+                target=self._runner_loop,
+                name=f"svc-shard{self.shard_id}-runner{self._runner_serial}",
+                daemon=True,
+            )
+            self._runners.append(runner)
+            runner.start()
+        return runner
+
+    def _runner_loop(self):
+        while True:
+            task = self._tasks.get()
+            if task is _SHUTDOWN:
+                return
+            try:
+                self._execute(task)
+            except BaseException as exc:
+                # The runner dies (cleanly — it already reported, so no
+                # noisy threading.excepthook); its replacement is running.
+                self._runner_crashed(task, exc)
+                return
+
+    def _runner_crashed(self, task, exc):
+        """A runner died executing ``task``: fail the request, self-replace."""
+        error = RunnerCrash(
+            f"shard {self.shard_id} runner died executing request "
+            f"{task.request.request_id!r}: {exc!r}",
+            shard=self.shard_id,
+            request_id=task.request.request_id,
+        )
+        with self._lock:
+            self._runner_failures += 1
+            if not task.slot_released:
+                task.slot_released = True
+                self._queue_depth -= 1
+        current = threading.current_thread()
+        with self._lock:
+            if current in self._runners:
+                self._runners.remove(current)
+            replace = not self._stopping.is_set()
+            if replace:
+                self._runner_restarts += 1
+        if replace:
+            self._spawn_runner()
+        metrics = RequestMetrics(
+            request_id=task.request.request_id,
+            shard=self.shard_id,
+            session="",
+            strategy=task.request.strategy,
+            latency=0.0,
+            error=str(error),
+        )
+        try:
+            # Never a hung future: resolve it with the typed crash record.
+            # If the crash struck *after* the normal path resolved it, the
+            # second resolution is a no-op error we swallow.
+            task.on_done(task.request, None, metrics, error)
+        except Exception:
+            pass
+
+    def _supervise(self):
+        """Periodically restart runners that died without reporting."""
+        while not self._stopping.wait(timeout=self._supervisor_interval):
+            with self._lock:
+                dead = [runner for runner in self._runners if not runner.is_alive()]
+                for runner in dead:
+                    self._runners.remove(runner)
+                    self._runner_restarts += 1
+            for _ in dead:
+                self._spawn_runner()
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def submit(self, request, on_done):
-        """Admit ``request`` onto a runner thread; resolve through ``on_done``.
+        """Admit ``request`` onto the runner queue; resolve through ``on_done``.
 
         Raises :class:`~repro.errors.ServiceOverloaded` when the shard's
         queue depth bound is reached — the request is *not* queued and
@@ -224,21 +363,31 @@ class Shard:
                     f"({self._queue_depth}/{self.max_queue_depth})",
                     shard=self.shard_id,
                     queue_depth=self._queue_depth,
+                    retry_after=self.overload_retry_after,
                 )
             self._requests += 1
             self._queue_depth += 1
             self._queue_peak = max(self._queue_peak, self._queue_depth)
+        task = _RunnerTask(request, on_done)
         try:
-            return self._runner.submit(self._execute, request, on_done)
+            self._tasks.put(task)
         except BaseException:
-            with self._lock:
-                self._queue_depth -= 1
+            self._release_slot(task)
             raise
+        return task
 
-    def _execute(self, request, on_done):
+    def _release_slot(self, task):
+        with self._lock:
+            if not task.slot_released:
+                task.slot_released = True
+                self._queue_depth -= 1
+
+    def _execute(self, task):
+        request, on_done = task.request, task.on_done
         start = time.perf_counter()
         session = None
         try:
+            maybe_fail(self._faults, "shard.execute", detail=request.request_id)
             constraints = request.resolved_constraints()
             session = self.session_for(constraints)
             with self._lock:
@@ -282,8 +431,7 @@ class Shard:
         # Release the admission slot *before* resolving the future: a caller
         # that wakes from future.result() and immediately submits again must
         # find the capacity its completed request held already freed.
-        with self._lock:
-            self._queue_depth -= 1
+        self._release_slot(task)
         on_done(request, *outcome)
 
     # ------------------------------------------------------------------ #
@@ -298,6 +446,8 @@ class Shard:
             queue_depth = self._queue_depth
             queue_peak = self._queue_peak
             rejected = self._rejected
+            runner_restarts = self._runner_restarts
+            runner_failures = self._runner_failures
         scheduler = self.scheduler.stats()
         cache = {"caches": 0, "entries": 0, "hits": 0, "misses": 0, "evictions": 0}
         memo = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
@@ -314,6 +464,8 @@ class Shard:
             queue_depth=queue_depth,
             queue_peak=queue_peak,
             rejected=rejected,
+            runner_restarts=runner_restarts,
+            runner_failures=runner_failures,
             waves=scheduler.waves,
             batched_items=scheduler.items,
             cross_request_waves=scheduler.cross_request_waves,
@@ -329,8 +481,20 @@ class Shard:
         )
 
     def shutdown(self, wait=True):
-        """Drain the runner pool, then stop the scheduler (idempotent)."""
-        self._runner.shutdown(wait=wait)
+        """Drain the runner queue, stop supervision + scheduler (idempotent)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        with self._lock:
+            runners = list(self._runners)
+        # Sentinels queue *behind* already-admitted tasks, so wait=True
+        # drains exactly like ThreadPoolExecutor.shutdown(wait=True) did.
+        for _ in runners:
+            self._tasks.put(_SHUTDOWN)
+        if wait:
+            for runner in runners:
+                runner.join(timeout=60.0)
+            self._supervisor.join(timeout=5.0)
         self.scheduler.shutdown(wait=wait)
 
 

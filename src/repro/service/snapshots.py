@@ -1,0 +1,358 @@
+"""Crash-safe cache snapshots: atomic writes, manifests, staleness rules.
+
+PR 5's cache persistence wrote a bare pickle at graceful drain — a
+``kill -9`` lost every warm cache, a truncated file crashed the next boot,
+and nothing detected a snapshot whose constraint sets no longer matched the
+state inside it.  This module is the hardened replacement:
+
+* **Atomic writes.**  :func:`write_snapshot` writes to a temp file in the
+  snapshot's directory, flushes + fsyncs, then ``os.replace``\\ s it over the
+  target: a crash mid-write leaves the previous snapshot intact, never a
+  torn file.
+* **Manifest + checksum.**  The envelope carries a version, a creation
+  timestamp, one manifest entry per session (label + a structural digest of
+  its constraint set) and a SHA-256 over the pickled payload.  A flipped
+  bit, a truncation, or a future format all fail *detectably*.
+* **Staleness invalidation.**  At load time every session's constraint-set
+  digest is recomputed from the payload and compared against the manifest:
+  state whose constraints changed since the snapshot was taken is skipped
+  (cold start for that catalog), never served stale — the incremental-
+  maintenance rule (state untouched by a constraint delta survives,
+  everything else is invalidated) applied at snapshot granularity.
+* **Degrade, never crash.**  Every failure mode raises a typed
+  :class:`~repro.errors.SnapshotError`; loaders
+  (:meth:`~repro.service.service.OptimizerService.recover_caches`, the CLI)
+  log it, count a recovery, and cold-start.
+* **Periodic + signal-triggered.**  :class:`SnapshotManager` runs a
+  background snapshot loop (``--snapshot-interval``) and exposes a
+  ``SIGUSR1`` trigger, so a crashed server restarts from the *latest
+  periodic* snapshot instead of the last graceful drain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import signal
+import tempfile
+import threading
+import time
+
+from repro.errors import InjectedFault, SnapshotError
+from repro.service.faults import maybe_fail
+
+#: Current envelope version.  Version 1 is the PR 5 bare-pickle format
+#: (``{"version": 1, "sessions": [...]}``), still readable (no checksum or
+#: staleness metadata to verify); version 2 adds the manifest + checksum.
+SNAPSHOT_VERSION = 2
+
+_FORMAT = "repro-snapshot"
+
+
+def constraints_digest(constraints):
+    """Stable structural digest of a constraint set.
+
+    Uses each dependency's pretty-printed form (name + quantifier structure),
+    sorted — stable across processes and runs, and it *changes* whenever any
+    constraint's definition changes, which is exactly the staleness signal:
+    chase fixpoints and containment verdicts are only valid under the
+    dependency set they were computed with.
+    """
+    text = "\n".join(sorted(str(dep) for dep in constraints))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def write_snapshot(path, sessions, faults=None):
+    """Atomically write ``sessions`` (list of session dicts) to ``path``.
+
+    Each session dict carries ``signature`` (the frozenset of dependencies),
+    ``label``, ``registry`` and ``memo`` — the shape
+    :meth:`~repro.service.shard.Shard.export_sessions` produces.  Returns the
+    number of sessions written.  Raises :class:`SnapshotError` on IO failure
+    (the previous snapshot, if any, is left untouched).
+    """
+    path = os.fspath(path)
+    try:
+        # Injected write faults behave exactly like an IO failure: typed,
+        # and struck before anything touches the previous snapshot.
+        maybe_fail(faults, "snapshot.write", detail=path)
+    except InjectedFault as error:
+        raise SnapshotError(
+            f"cannot write snapshot {path!r}: {error}", path=path, reason="io"
+        ) from error
+    try:
+        payload = pickle.dumps({"version": 1, "sessions": sessions})
+    except Exception as error:
+        # Sessions are pickled live while the service keeps serving; any
+        # serialization failure (including a concurrent-mutation race) must
+        # degrade to a typed, counted failed snapshot — the periodic loop
+        # retries on the next interval — never crash the snapshot thread.
+        raise SnapshotError(
+            f"cannot serialize snapshot {path!r}: {error}", path=path, reason="serialize"
+        ) from error
+    manifest = {
+        "version": SNAPSHOT_VERSION,
+        "created_at": time.time(),
+        "sessions": [
+            {
+                "label": entry["label"],
+                "constraints_digest": constraints_digest(entry["signature"]),
+            }
+            for entry in sessions
+        ],
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    envelope = {"format": _FORMAT, "version": SNAPSHOT_VERSION, "manifest": manifest, "payload": payload}
+    directory = os.path.dirname(path) or "."
+    try:
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=directory, prefix=os.path.basename(path) + ".tmp-", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(envelope, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+    except OSError as error:
+        raise SnapshotError(
+            f"cannot write snapshot {path!r}: {error}", path=path, reason="io"
+        ) from error
+    return len(sessions)
+
+
+def read_snapshot(path, faults=None):
+    """Read and validate a snapshot; returns ``(manifest, session entries)``.
+
+    Each returned entry is ``(session_dict, stale)`` where ``stale`` is True
+    when the session's recomputed constraint digest no longer matches the
+    manifest (the caller must skip it — its fixpoints and verdicts were
+    computed under different constraints).  Raises :class:`SnapshotError`
+    for every file-level failure: missing, unreadable, truncated,
+    checksum mismatch, unsupported version.
+
+    Legacy (PR 5, version 1) bare-pickle snapshots load with a synthesized
+    manifest: they carry no checksum or digests to verify, so their sessions
+    are all treated as fresh.
+    """
+    path = os.fspath(path)
+    try:
+        maybe_fail(faults, "snapshot.read", detail=path)
+    except InjectedFault as error:
+        raise SnapshotError(
+            f"cannot read snapshot {path!r}: {error}", path=path, reason="io"
+        ) from error
+    if not os.path.exists(path):
+        raise SnapshotError(f"snapshot {path!r} does not exist", path=path, reason="missing")
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except OSError as error:
+        raise SnapshotError(
+            f"cannot read snapshot {path!r}: {error}", path=path, reason="io"
+        ) from error
+    except Exception as error:  # truncated / garbage / not a pickle at all
+        raise SnapshotError(
+            f"snapshot {path!r} is corrupt: {error}", path=path, reason="corrupt"
+        ) from error
+    if not isinstance(envelope, dict):
+        raise SnapshotError(
+            f"snapshot {path!r} is corrupt: not a snapshot envelope", path=path, reason="corrupt"
+        )
+
+    if envelope.get("format") != _FORMAT:
+        # Legacy bare-pickle layout from PR 5: {"version": 1, "sessions": [...]}.
+        if envelope.get("version") == 1 and isinstance(envelope.get("sessions"), list):
+            manifest = {"version": 1, "created_at": None, "sessions": [], "payload_sha256": None}
+            return manifest, [(entry, False) for entry in envelope["sessions"]]
+        raise SnapshotError(
+            f"snapshot {path!r} is corrupt: unrecognised layout", path=path, reason="corrupt"
+        )
+
+    version = envelope.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has unsupported version {version!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})",
+            path=path,
+            reason="version",
+        )
+    manifest = envelope.get("manifest") or {}
+    payload = envelope.get("payload")
+    if not isinstance(payload, bytes):
+        raise SnapshotError(
+            f"snapshot {path!r} is corrupt: missing payload", path=path, reason="corrupt"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != manifest.get("payload_sha256"):
+        raise SnapshotError(
+            f"snapshot {path!r} failed its payload checksum "
+            f"(manifest {manifest.get('payload_sha256')!r}, actual {digest!r})",
+            path=path,
+            reason="checksum",
+        )
+    try:
+        body = pickle.loads(payload)
+        sessions = body["sessions"]
+    except Exception as error:
+        raise SnapshotError(
+            f"snapshot {path!r} payload is corrupt: {error}", path=path, reason="corrupt"
+        ) from error
+
+    manifest_sessions = manifest.get("sessions") or []
+    entries = []
+    for index, entry in enumerate(sessions):
+        recorded = (
+            manifest_sessions[index].get("constraints_digest")
+            if index < len(manifest_sessions)
+            else None
+        )
+        stale = recorded != constraints_digest(entry["signature"])
+        entries.append((entry, stale))
+    return manifest, entries
+
+
+class SnapshotManager:
+    """Periodic + signal-triggered snapshotting for a running service.
+
+    Wraps :meth:`OptimizerService.save_caches` in a background loop so a
+    ``kill -9`` loses at most ``interval`` seconds of warmed state, and
+    installs a ``SIGUSR1`` trigger for operator-requested snapshots without
+    a shutdown.  Failed saves are counted (``snapshot_failures``), logged
+    through ``on_error``, and never interrupt serving.
+
+    Usage::
+
+        manager = SnapshotManager(service, "warm.snap", interval=30.0)
+        manager.install_signal_handler()      # SIGUSR1 -> snapshot now
+        manager.start()                       # periodic loop
+        ...
+        manager.stop()                        # final snapshot + join
+    """
+
+    def __init__(self, service, path, interval=None, faults=None, on_error=None):
+        if interval is not None and interval <= 0:
+            raise ValueError(f"snapshot interval must be > 0 or None, got {interval!r}")
+        self.service = service
+        self.path = os.fspath(path)
+        self.interval = interval
+        self.faults = faults
+        self.on_error = on_error
+        self.snapshots_written = 0
+        self.snapshot_failures = 0
+        self.last_error = None
+        self._wake = threading.Event()
+        self._stopped = threading.Event()
+        self._thread = None
+        self._lock = threading.Lock()
+        self._previous_handler = None
+
+    # ------------------------------------------------------------------ #
+    # saving
+    # ------------------------------------------------------------------ #
+    def save(self):
+        """Take one snapshot now; returns sessions saved, or None on failure."""
+        try:
+            with self._lock:  # one writer at a time (loop + signal + stop)
+                saved = self.service.save_caches(self.path, faults=self.faults)
+            self.snapshots_written += 1
+            return saved
+        except SnapshotError as error:
+            self.snapshot_failures += 1
+            self.last_error = str(error)
+            if self.on_error is not None:
+                self.on_error(error)
+            return None
+
+    def trigger(self):
+        """Request an immediate snapshot from the background loop.
+
+        Falls back to a synchronous :meth:`save` when the loop is not
+        running (no ``interval``), so SIGUSR1 works either way.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            self._wake.set()
+        else:
+            self.save()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self):
+        """Start the periodic loop (no-op without an ``interval``)."""
+        if self.interval is None or self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="svc-snapshots", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self):
+        while not self._stopped.is_set():
+            self._wake.wait(timeout=self.interval)
+            if self._stopped.is_set():
+                return
+            self._wake.clear()
+            self.save()
+
+    def stop(self, final_save=True):
+        """Stop the loop; by default take one last (drain-time) snapshot."""
+        self._stopped.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if final_save:
+            self.save()
+
+    # ------------------------------------------------------------------ #
+    # signals
+    # ------------------------------------------------------------------ #
+    def install_signal_handler(self, signum=None):
+        """Install the SIGUSR1 trigger (main thread only; returns ``self``).
+
+        The previous handler is remembered and re-installed by
+        :meth:`restore_signal_handler`.  On platforms without ``SIGUSR1``
+        (or off the main thread) this is a no-op.
+        """
+        signum = signum if signum is not None else getattr(signal, "SIGUSR1", None)
+        if signum is None:
+            return self
+        try:
+            self._previous_handler = (signum, signal.signal(signum, self._on_signal))
+        except ValueError:  # not the main thread
+            self._previous_handler = None
+        return self
+
+    def _on_signal(self, signum, frame):
+        self.trigger()
+
+    def restore_signal_handler(self):
+        if self._previous_handler is not None:
+            signum, handler = self._previous_handler
+            signal.signal(signum, handler)
+            self._previous_handler = None
+
+    def stats(self):
+        return {
+            "snapshots_written": self.snapshots_written,
+            "snapshot_failures": self.snapshot_failures,
+            "last_error": self.last_error,
+        }
+
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotManager",
+    "constraints_digest",
+    "read_snapshot",
+    "write_snapshot",
+]

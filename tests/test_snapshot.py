@@ -19,6 +19,7 @@ from repro.chase.implication import ChaseCacheRegistry
 from repro.cq.memo import ContainmentMemo
 from repro.service import OptimizerService
 from repro.service.protocol import plan_digest
+from repro.service.snapshots import read_snapshot
 from repro.workloads import build_ec1, build_ec2
 
 
@@ -120,9 +121,10 @@ class TestServiceSnapshot:
             saving.submit(workload.query, catalog=workload.catalog).result().raise_for_error()
             saving.save_caches(path)
 
-        payload = pickle.loads(path.read_bytes())
+        _, entries = read_snapshot(path)
         tables = 0
-        for entry in payload["sessions"]:
+        for entry, stale in entries:
+            assert not stale
             for cache in entry["registry"]._caches.values():
                 for fixpoint in cache._cache.values():
                     tables += len(fixpoint.__dict__.get("_restrictions") or ())
