@@ -14,7 +14,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint serve-smoke serve-net-smoke chaos-smoke tier1 all
+.PHONY: test bench bench-quick lint lint-concurrency serve-smoke serve-net-smoke chaos-smoke tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
@@ -30,9 +30,16 @@ bench:
 bench-quick:
 	PYTHONPATH=$(PYTHONPATH) BENCH_QUICK=1 $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_parallel_backchase.py
 
-# Syntax/undefined-name lint (CI installs ruff; no-op rules beyond that).
+# Curated ruff lint (rule set lives in ruff.toml; CI installs ruff).
 lint:
-	$(PYTHON) -m ruff check --select E9,F63,F7,F82 src tests benchmarks examples
+	$(PYTHON) -m ruff check src tests benchmarks examples
+
+# repro-lint: the in-tree AST analyzer for concurrency/invariant bugs
+# (lock-discipline, pickle-safety, deadline-propagation, future-resolution,
+# process-pool-boundary).  Emits clickable path:line:col findings; exits
+# non-zero on any finding.  No third-party deps — stdlib ast only.
+lint-concurrency:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src/repro
 
 # Serving-mode smoke test: pipe the 10-request JSONL workload through the
 # warm sharded service and assert every plan set matches a fresh single-shot

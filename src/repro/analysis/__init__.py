@@ -1,0 +1,33 @@
+"""repro-lint: AST-based concurrency & invariant analysis for this repo.
+
+The serving stack accumulated a family of cross-cutting invariants that no
+unit test checks mechanically: attributes guarded by locks must only be
+touched with the lock held, lock-owning classes that get pickled must strip
+their locks and copy their containers *under* the lock (the PR 6
+snapshot-under-traffic bug), ``deadline`` budgets must be threaded through
+every chase call chain, acquired futures must resolve on every path, and
+nothing carrying a lock may flow into a process-pool submission.  Following
+the spirit of integrity checking in deductive databases — declare the
+invariant once, check every state mechanically — this package encodes those
+invariants as project-specific static checks over the stdlib :mod:`ast`.
+
+Run it as::
+
+    python -m repro.analysis src/repro            # exit 0 = clean
+    python -m repro.analysis --list-rules
+
+Conventions (see the README's "Static analysis" section):
+
+* ``# guarded-by: <lock>`` on an attribute assignment declares the
+  attribute as protected by ``self.<lock>``.
+* ``# holds: <lock>`` on a ``def`` line declares that callers invoke the
+  method with ``self.<lock>`` already held.
+* ``# repro-lint: ignore[rule-a, rule-b] <justification>`` suppresses the
+  named rules on that line (or, on a ``def``/``class`` line, in that whole
+  scope).  A suppression without a justification is itself a finding.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import ALL_CHECKERS, analyze_paths, analyze_source, main
+
+__all__ = ["ALL_CHECKERS", "Finding", "analyze_paths", "analyze_source", "main"]

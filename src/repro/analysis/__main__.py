@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run repro-lint from the command line."""
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Checker base class and the project-wide view checkers share.
+
+A checker is a small object with a ``rule`` id and a ``check(module,
+project)`` method yielding :class:`~repro.analysis.findings.Finding`s.
+Most checkers are purely local to one module; the deadline checker also
+consults :class:`Project` for the cross-module map of deadline-accepting
+callables.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class Project:
+    """Cross-module facts shared by all checkers for one analysis run."""
+
+    def __init__(self, modules):
+        self.modules = list(modules)
+        #: bare names of functions/methods that accept a ``deadline`` param.
+        self.deadline_callables = set()
+        for module in self.modules:
+            for func in module.functions():
+                args = func.args
+                names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+                if "deadline" in names:
+                    self.deadline_callables.add(func.name)
+
+
+def class_nodes(classdef):
+    """Every node inside ``classdef``, without descending into nested classes."""
+    stack = list(classdef.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.ClassDef):
+                stack.append(child)
+
+
+def guarded_attributes(module, classdef):
+    """``{attr: (lock, value_node)}`` from ``# guarded-by:`` annotations.
+
+    Covers both ``self.x = ...  # guarded-by: _lock`` in methods and
+    class-level / dataclass field declarations annotated the same way.
+    """
+    guarded = {}
+
+    def record(target, lock, value, node):
+        from repro.analysis.source import is_self_attribute
+
+        if is_self_attribute(target):
+            guarded[target.attr] = (lock, value)
+        elif isinstance(target, ast.Name) and module.parent(node) is classdef:
+            guarded[target.id] = (lock, value)
+
+    for node in class_nodes(classdef):
+        if isinstance(node, ast.Assign):
+            lock = module.guarded_by(node)
+            if lock is None:
+                continue
+            for target in node.targets:
+                record(target, lock, node.value, node)
+        elif isinstance(node, ast.AnnAssign):
+            lock = module.guarded_by(node)
+            if lock is None:
+                continue
+            record(node.target, lock, node.value, node)
+    return guarded
+
+
+class Checker:
+    """Base class: subclasses set ``rule``/``description`` and implement check."""
+
+    rule = ""
+    description = ""
+
+    def check(self, module, project):
+        raise NotImplementedError
+
+    @staticmethod
+    def walk_functions(node):
+        """Functions defined anywhere under ``node`` (including nested)."""
+        return [
+            n
+            for n in ast.walk(node)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+
+__all__ = ["Checker", "Project", "class_nodes", "guarded_attributes"]

@@ -1,0 +1,24 @@
+"""The five repro-lint checkers (see each module's docstring for the rule)."""
+
+from repro.analysis.checkers.deadline import DeadlinePropagationChecker
+from repro.analysis.checkers.futures import FutureResolutionChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
+from repro.analysis.checkers.process_boundary import ProcessPoolBoundaryChecker
+
+ALL_CHECKERS = (
+    LockDisciplineChecker,
+    PickleSafetyChecker,
+    DeadlinePropagationChecker,
+    FutureResolutionChecker,
+    ProcessPoolBoundaryChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DeadlinePropagationChecker",
+    "FutureResolutionChecker",
+    "LockDisciplineChecker",
+    "PickleSafetyChecker",
+    "ProcessPoolBoundaryChecker",
+]

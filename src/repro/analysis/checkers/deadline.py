@@ -1,0 +1,76 @@
+"""deadline-propagation: time budgets must thread through the call chain.
+
+Timeouts in the chase are absolute deadlines (PR 2) handed down through
+``chase → backchase → wave executors``.  A function that *receives* a
+``deadline`` and calls another deadline-accepting function without passing
+one on silently converts a bounded call into an unbounded one — the chase
+"too far" failure mode the paper is named for.
+
+The checker builds a project-wide set of callables that accept a
+``deadline`` parameter; inside any function that itself has ``deadline``,
+every call to such a callable must forward it (``deadline=...`` keyword, or
+any argument mentioning ``deadline`` — including ``state.deadline``-style
+attributes).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker
+from repro.analysis.source import mentions_identifier, node_name
+
+
+class DeadlinePropagationChecker(Checker):
+    rule = "deadline-propagation"
+    description = (
+        "a function accepting `deadline` that calls a deadline-accepting "
+        "callee must pass the deadline through"
+    )
+
+    def check(self, module, project):
+        findings = []
+        for func in module.functions():
+            if not self._accepts_deadline(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node_name(node.func)
+                if callee is None or callee not in project.deadline_callables:
+                    continue
+                if self._forwards_deadline(node):
+                    continue
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"call to deadline-accepting '{callee}' drops the "
+                        "in-scope 'deadline'; pass deadline=... through",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _accepts_deadline(func):
+        args = func.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        return "deadline" in names
+
+    @staticmethod
+    def _forwards_deadline(call):
+        for keyword in call.keywords:
+            if keyword.arg == "deadline":
+                return True
+            if keyword.arg is None and mentions_identifier(keyword.value, "deadline"):
+                return True  # **kwargs carrying a deadline key
+        for arg in call.args:
+            if mentions_identifier(arg, "deadline"):
+                return True
+        for keyword in call.keywords:
+            if keyword.arg is not None and mentions_identifier(keyword.value, "deadline"):
+                return True
+        return False
+
+
+__all__ = ["DeadlinePropagationChecker"]

@@ -1,0 +1,176 @@
+"""future-resolution: acquired futures/pending entries resolve on all paths.
+
+Two sub-checks grounded in the serving stack's demux patterns:
+
+1. **Acquire/release pairing.**  An "acquisition" is either a call to
+   ``began()`` (the connection in-flight gauge in ``server.py``) or a store
+   into a ``pending``-style mapping (``self.pending[request_id] = future``
+   in ``client.py``).  After an acquisition, every ``except`` handler later
+   in the function must release (``finished``/``pop``/``_teardown``/
+   ``set_exception``/``set_result``), re-raise, or sit in a ``try`` whose
+   ``finally`` releases — and at least one release must exist at all,
+   otherwise the future hangs its waiter forever.
+
+2. **Crash swallowing.**  ``InjectedCrash`` (the fault-injection harness's
+   kill signal) derives from ``BaseException`` precisely so that ordinary
+   ``except Exception`` recovery code cannot absorb it.  A bare ``except:``
+   or ``except BaseException:`` that neither re-raises nor reports through
+   ``set_exception``/``_runner_crashed`` would swallow it — the supervised
+   runner would look healthy while its request hangs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker
+from repro.analysis.source import call_name, node_name
+
+#: Mapping-style attributes treated as pending-request tables.
+PENDING_NAMES = {"pending", "_pending"}
+
+#: Calls that count as releasing/resolving an acquired entry.
+RELEASE_CALLS = {
+    "finished",
+    "pop",
+    "_teardown",
+    "set_exception",
+    "set_result",
+    "cancel",
+}
+
+#: Calls that legitimately report a BaseException instead of re-raising.
+CRASH_REPORTERS = {"set_exception", "_runner_crashed"}
+
+
+class FutureResolutionChecker(Checker):
+    rule = "future-resolution"
+    description = (
+        "acquired futures/pending entries must be resolved or released on "
+        "every path; BaseException handlers must re-raise or report crashes"
+    )
+
+    def check(self, module, project):
+        findings = []
+        for func in module.functions():
+            findings.extend(self._check_pairing(module, func))
+        findings.extend(self._check_crash_swallowing(module))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # sub-check 1: acquire/release pairing
+    # ------------------------------------------------------------------ #
+    def _check_pairing(self, module, func):
+        acquisitions = self._acquisitions(func)
+        if not acquisitions:
+            return []
+        findings = []
+        handlers = [n for n in ast.walk(func) if isinstance(n, ast.ExceptHandler)]
+        for acq_node, what in acquisitions:
+            released = any(
+                isinstance(n, ast.Call)
+                and call_name(n) in RELEASE_CALLS
+                and n.lineno > acq_node.lineno
+                for n in ast.walk(func)
+            )
+            if not released:
+                findings.append(
+                    module.finding(
+                        acq_node,
+                        self.rule,
+                        f"{what} in '{func.name}' is never resolved or "
+                        "released afterwards; its waiter would hang forever",
+                    )
+                )
+                continue
+            for handler in handlers:
+                if handler.lineno <= acq_node.lineno:
+                    continue
+                if self._handler_releases(module, handler):
+                    continue
+                findings.append(
+                    module.finding(
+                        handler,
+                        self.rule,
+                        f"except path after {what} neither releases it nor "
+                        "re-raises; the pending future leaks on this path",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _acquisitions(func):
+        """(node, description) pairs for began() calls and pending stores."""
+        acquisitions = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and call_name(node) == "began":
+                acquisitions.append((node, "began() acquisition"))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and node_name(target.value) in PENDING_NAMES
+                    ):
+                        acquisitions.append(
+                            (node, f"pending-entry store into '{node_name(target.value)}'")
+                        )
+        return acquisitions
+
+    @staticmethod
+    def _handler_releases(module, handler):
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and call_name(node) in RELEASE_CALLS:
+                return True
+        try_node = module.parent(handler)
+        if isinstance(try_node, ast.Try):
+            for stmt in try_node.finalbody:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call) and call_name(node) in RELEASE_CALLS:
+                        return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # sub-check 2: swallowing InjectedCrash
+    # ------------------------------------------------------------------ #
+    def _check_crash_swallowing(self, module):
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._catches_base_exception(node):
+                continue
+            if self._reports_or_reraises(node):
+                continue
+            findings.append(
+                module.finding(
+                    node,
+                    self.rule,
+                    "handler catches BaseException (so it absorbs the "
+                    "fault-injection InjectedCrash) without re-raising or "
+                    "reporting via set_exception/_runner_crashed",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _catches_base_exception(handler):
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        )
+        return any(node_name(t) == "BaseException" for t in types)
+
+    @staticmethod
+    def _reports_or_reraises(handler):
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and call_name(node) in CRASH_REPORTERS:
+                return True
+        return False
+
+
+__all__ = ["FutureResolutionChecker"]

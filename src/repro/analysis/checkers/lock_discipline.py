@@ -1,0 +1,125 @@
+"""lock-discipline: guarded attributes are only touched with their lock held.
+
+An attribute annotated ``# guarded-by: _lock`` on its assignment (in
+``__init__`` or as a dataclass field) may only be accessed lexically inside
+``with self._lock:``.  Methods documented with ``# holds: _lock`` on the
+``def`` line are assumed to be called with the lock already held.  Bodies of
+nested functions and lambdas run later, outside the ``with`` block that
+encloses their definition, so held locks do not propagate into them.
+
+A second sub-check flags ad-hoc locks bound to bare names
+(``write_lock = threading.Lock()`` as a local or module global): a lock
+should live on the object whose state it guards, where this checker's model
+— and readers — can see what it protects.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker, guarded_attributes
+from repro.analysis.source import call_name, is_self_attribute
+
+#: Methods that run while the object is not yet (or no longer) shared.
+UNSHARED_METHODS = {"__init__", "__setstate__", "__post_init__"}
+
+LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+class LockDisciplineChecker(Checker):
+    rule = "lock-discipline"
+    description = (
+        "attributes declared `# guarded-by: <lock>` must only be accessed "
+        "inside `with self.<lock>:` (or in a method marked `# holds: <lock>`)"
+    )
+
+    def check(self, module, project):
+        findings = []
+        for classdef in module.classes():
+            guarded = {
+                attr: lock
+                for attr, (lock, _value) in guarded_attributes(module, classdef).items()
+            }
+            if not guarded:
+                continue
+            for stmt in classdef.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name in UNSHARED_METHODS:
+                    continue
+                self._scan(module, stmt, guarded, module.holds(stmt), findings)
+        findings.extend(self._scan_adhoc_locks(module))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # guarded-attribute scan
+    # ------------------------------------------------------------------ #
+    def _scan(self, module, node, guarded, held, findings):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested_held = module.holds(node)
+            for child in node.body:
+                self._scan(module, child, guarded, nested_held, findings)
+            return
+        if isinstance(node, ast.Lambda):
+            self._scan(module, node.body, guarded, set(), findings)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                self._scan(module, item.context_expr, guarded, held, findings)
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+            for child in node.body:
+                self._scan(module, child, guarded, acquired, findings)
+            return
+        if isinstance(node, ast.Attribute) and is_self_attribute(node):
+            lock = guarded.get(node.attr)
+            if lock is not None and lock not in held:
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"'self.{node.attr}' is guarded-by '{lock}' but accessed "
+                        f"without holding 'self.{lock}'",
+                    )
+                )
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan(module, child, guarded, held, findings)
+
+    @staticmethod
+    def _lock_of(context_expr):
+        """Lock attribute name acquired by ``with self.<lock>:`` (else None)."""
+        if is_self_attribute(context_expr):
+            return context_expr.attr
+        return None
+
+    # ------------------------------------------------------------------ #
+    # ad-hoc bare-name locks
+    # ------------------------------------------------------------------ #
+    def _scan_adhoc_locks(self, module):
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if call_name(node.value) not in LOCK_FACTORIES:
+                continue
+            parent = module.parent(node)
+            if isinstance(parent, ast.ClassDef):
+                continue  # class attribute: shared but at least discoverable
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule,
+                            f"ad-hoc lock '{target.id}' bound to a bare name; "
+                            "move the lock onto the object whose state it "
+                            "guards and annotate that state `# guarded-by:`",
+                        )
+                    )
+        return findings
+
+
+__all__ = ["LockDisciplineChecker"]

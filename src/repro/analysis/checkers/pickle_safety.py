@@ -1,0 +1,213 @@
+"""pickle-safety: lock-owning classes must pickle safely (the PR 6 bug).
+
+PR 6's worst bug: ``SnapshotManager`` pickled live ``OrderedDict`` caches
+while shard runners mutated them, so the snapshot loop died with
+"OrderedDict mutated during iteration" — silently, under traffic.  The
+mechanical invariant: a class that owns a ``threading.Lock``/``RLock`` or a
+``# guarded-by:`` mutable container must define ``__getstate__`` that
+
+* strips every lock attribute (``del state["_lock"]`` / ``state.pop(...)``),
+  because locks are unpicklable and must not leak into the payload, and
+* snapshots ``self.__dict__`` / the guarded containers *inside*
+  ``with self.<lock>:`` so a concurrent writer cannot mutate mid-copy.
+
+Classes that are never pickled can suppress with
+``# repro-lint: ignore[pickle-safety] <why it is never pickled>``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker, class_nodes, guarded_attributes
+from repro.analysis.source import call_name, is_self_attribute, node_name
+
+LOCK_FACTORIES = {"Lock", "RLock"}
+CONTAINER_FACTORIES = {"OrderedDict", "defaultdict", "deque", "dict", "list", "set"}
+
+
+def _is_lock_value(value):
+    """True for ``threading.Lock()`` or ``field(default_factory=...Lock)``."""
+    if call_name(value) in LOCK_FACTORIES:
+        return True
+    if call_name(value) == "field" and isinstance(value, ast.Call):
+        for keyword in value.keywords:
+            if keyword.arg == "default_factory" and node_name(keyword.value) in LOCK_FACTORIES:
+                return True
+    return False
+
+
+def _is_container_value(value):
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if call_name(value) in CONTAINER_FACTORIES:
+        return True
+    if call_name(value) == "field" and isinstance(value, ast.Call):
+        for keyword in value.keywords:
+            if keyword.arg == "default_factory" and node_name(keyword.value) in CONTAINER_FACTORIES:
+                return True
+    return False
+
+
+class PickleSafetyChecker(Checker):
+    rule = "pickle-safety"
+    description = (
+        "classes owning a Lock/RLock or a guarded container must define "
+        "__getstate__ that strips locks and copies state under the lock"
+    )
+
+    def check(self, module, project):
+        findings = []
+        for classdef in module.classes():
+            findings.extend(self._check_class(module, classdef))
+        return findings
+
+    def _check_class(self, module, classdef):
+        lock_attrs = self._lock_attributes(module, classdef)
+        guarded = guarded_attributes(module, classdef)
+        containers = {
+            attr: lock
+            for attr, (lock, value) in guarded.items()
+            if value is not None and _is_container_value(value)
+        }
+        if not lock_attrs and not containers:
+            return []
+
+        getstate = None
+        for stmt in classdef.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__getstate__":
+                getstate = stmt
+                break
+        if getstate is None:
+            return [
+                module.finding(
+                    classdef,
+                    self.rule,
+                    f"class '{classdef.name}' owns "
+                    f"{self._owns(lock_attrs, containers)} but defines no "
+                    "__getstate__; pickling it would capture a live lock or a "
+                    "container mid-mutation (PR 6 snapshot bug)",
+                )
+            ]
+
+        findings = []
+        for lock_attr in sorted(lock_attrs):
+            if not self._strips(getstate, lock_attr):
+                findings.append(
+                    module.finding(
+                        getstate,
+                        self.rule,
+                        f"__getstate__ of '{classdef.name}' does not strip "
+                        f"lock attribute '{lock_attr}' "
+                        f'(del state["{lock_attr}"] or state.pop("{lock_attr}", ...))',
+                    )
+                )
+        if containers:
+            findings.extend(
+                self._check_copies_under_lock(
+                    module, classdef, getstate, containers, lock_attrs
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # ownership discovery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _lock_attributes(module, classdef):
+        locks = set()
+        for node in class_nodes(classdef):
+            if isinstance(node, ast.Assign):
+                if _is_lock_value(node.value):
+                    for target in node.targets:
+                        if is_self_attribute(target):
+                            locks.add(target.attr)
+                        elif isinstance(target, ast.Name) and module.parent(node) is classdef:
+                            locks.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_lock_value(node.value):
+                    if is_self_attribute(node.target):
+                        locks.add(node.target.attr)
+                    elif isinstance(node.target, ast.Name) and module.parent(node) is classdef:
+                        locks.add(node.target.id)
+        return locks
+
+    @staticmethod
+    def _owns(lock_attrs, containers):
+        parts = []
+        if lock_attrs:
+            parts.append("lock(s) " + ", ".join(sorted(lock_attrs)))
+        if containers:
+            parts.append("guarded container(s) " + ", ".join(sorted(containers)))
+        return " and ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # __getstate__ structure
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _strips(getstate, lock_attr):
+        """True when __getstate__ deletes or pops ``lock_attr`` from state."""
+        for node in ast.walk(getstate):
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and target.slice.value == lock_attr
+                    ):
+                        return True
+            if isinstance(node, ast.Call) and call_name(node) == "pop":
+                if (
+                    node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value == lock_attr
+                ):
+                    return True
+        return False
+
+    def _check_copies_under_lock(self, module, classdef, getstate, containers, lock_attrs):
+        """Accesses of __dict__ / guarded containers must sit under the lock."""
+        relevant = set(lock_attrs) | set(containers.values())
+        findings = []
+        self._walk_getstate(module, classdef, getstate, containers, relevant, set(), findings)
+        return findings
+
+    def _walk_getstate(self, module, classdef, node, containers, relevant, held, findings):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                if is_self_attribute(item.context_expr):
+                    acquired.add(item.context_expr.attr)
+            for child in node.body:
+                self._walk_getstate(
+                    module, classdef, child, containers, relevant, acquired, findings
+                )
+            return
+        if isinstance(node, ast.Attribute) and is_self_attribute(node):
+            if node.attr == "__dict__" and not (held & relevant):
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"__getstate__ of '{classdef.name}' copies self.__dict__ "
+                        "outside the guarding lock; a concurrent writer can "
+                        "mutate a container mid-pickle (PR 6 snapshot bug)",
+                    )
+                )
+            elif node.attr in containers and containers[node.attr] not in held:
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"__getstate__ of '{classdef.name}' reads guarded "
+                        f"container '{node.attr}' outside 'self.{containers[node.attr]}'",
+                    )
+                )
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk_getstate(
+                module, classdef, child, containers, relevant, held, findings
+            )
+
+
+__all__ = ["PickleSafetyChecker"]

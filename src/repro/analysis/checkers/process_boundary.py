@@ -1,0 +1,168 @@
+"""process-pool-boundary: locks and memos must not cross into worker processes.
+
+Process executors (PR 2) ship work to ``ProcessPoolExecutor`` workers that
+keep *worker-local* caches and memos — coordinator-side ``ChaseCache``/
+``ContainmentMemo``/registry objects carry ``threading.Lock``s and must
+never appear in a submission: at best they fail to pickle, at worst a
+``__getstate__`` quietly ships a divergent copy that the coordinator never
+sees again.
+
+The checker scopes itself to genuine process pools — classes declaring
+``kind = "processes"`` and receivers assigned from
+``ProcessPoolExecutor(...)`` — so thread executors may keep sharing their
+caches by reference.  Within that scope it flags any ``submit``/``map``
+argument (and any ``initargs=`` item) whose name mentions a lock-carrying
+object (``*cache*``, ``*memo*``, ``*registry*``, ``*lock*``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker, class_nodes
+from repro.analysis.source import call_name, is_self_attribute
+
+SUSPECT_FRAGMENTS = ("cache", "memo", "registry", "lock")
+SUBMIT_METHODS = {"submit", "map"}
+
+
+def _suspicious_names(expr):
+    """Names in ``expr`` that look like lock-carrying coordinator state."""
+    names = []
+    for node in ast.walk(expr):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and any(f in name.lower() for f in SUSPECT_FRAGMENTS):
+            names.append(name)
+    return names
+
+
+class ProcessPoolBoundaryChecker(Checker):
+    rule = "process-pool-boundary"
+    description = (
+        "objects carrying locks/memos (cache/memo/registry/lock names) must "
+        "not flow into process-executor submit()/map()/initargs"
+    )
+
+    def check(self, module, project):
+        findings = []
+        for call in ast.walk(module.tree):
+            if (
+                isinstance(call, ast.Call)
+                and call_name(call) == "ProcessPoolExecutor"
+            ):
+                for keyword in call.keywords:
+                    if keyword.arg == "initargs":
+                        for name in _suspicious_names(keyword.value):
+                            findings.append(
+                                module.finding(
+                                    keyword.value,
+                                    self.rule,
+                                    f"'{name}' flows into ProcessPoolExecutor "
+                                    "initargs; worker processes must build "
+                                    "their own locks/caches locally",
+                                )
+                            )
+        for classdef in module.classes():
+            findings.extend(self._check_class(module, classdef))
+        findings.extend(self._check_local_pools(module))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # class-scoped pools
+    # ------------------------------------------------------------------ #
+    def _check_class(self, module, classdef):
+        is_process_class = any(
+            isinstance(stmt, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "kind" for t in stmt.targets)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value == "processes"
+            for stmt in classdef.body
+        )
+        pool_attrs = {
+            target.attr
+            for node in class_nodes(classdef)
+            if isinstance(node, ast.Assign)
+            and call_name(node.value) == "ProcessPoolExecutor"
+            for target in node.targets
+            if is_self_attribute(target)
+        }
+        if not is_process_class and not pool_attrs:
+            return []
+        findings = []
+        for call in class_nodes(classdef):
+            if not self._is_submit_call(call):
+                continue
+            receiver = call.func.value
+            if not (
+                is_process_class
+                or (is_self_attribute(receiver) and receiver.attr in pool_attrs)
+            ):
+                continue
+            findings.extend(self._check_submission(module, call))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # function/module-local pools
+    # ------------------------------------------------------------------ #
+    def _check_local_pools(self, module):
+        local_pools = {
+            target.id
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Assign)
+            and call_name(node.value) == "ProcessPoolExecutor"
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        }
+        # ``with ProcessPoolExecutor(...) as pool:`` binds a pool too.
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        call_name(item.context_expr) == "ProcessPoolExecutor"
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        local_pools.add(item.optional_vars.id)
+        if not local_pools:
+            return []
+        findings = []
+        for call in ast.walk(module.tree):
+            if not self._is_submit_call(call):
+                continue
+            receiver = call.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in local_pools:
+                findings.extend(self._check_submission(module, call))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # shared bits
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _is_submit_call(node):
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SUBMIT_METHODS
+        )
+
+    def _check_submission(self, module, call):
+        findings = []
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in arguments:
+            for name in _suspicious_names(argument):
+                findings.append(
+                    module.finding(
+                        argument,
+                        self.rule,
+                        f"'{name}' flows into a process-pool "
+                        f"{call.func.attr}(); locks/memos must stay "
+                        "coordinator-side (workers keep local ones)",
+                    )
+                )
+        return findings
+
+
+__all__ = ["ProcessPoolBoundaryChecker"]

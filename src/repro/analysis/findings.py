@@ -1,0 +1,35 @@
+"""The findings model shared by every repro-lint checker.
+
+A :class:`Finding` pins one rule violation to a ``file:line:col`` anchor —
+the rendered form is the standard compiler format, so terminals and CI log
+viewers make it clickable.  Findings sort by location (then rule, then
+message) so analyzer output is stable across runs and checker execution
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=True, default="")
+    message: str = ""
+
+    def render(self):
+        """Compiler-style ``path:line:col: rule message`` (clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def sort_findings(findings):
+    """Deterministic output order: location, then rule, then message."""
+    return sorted(findings)
+
+
+__all__ = ["Finding", "sort_findings"]

@@ -1,0 +1,139 @@
+"""Analyzer entry point: file discovery, checker dispatch, CLI.
+
+``python -m repro.analysis <paths...>`` parses every ``.py`` file under the
+given paths, builds the cross-module :class:`~repro.analysis.checker.Project`
+view, runs every checker, applies ``# repro-lint: ignore[...]``
+suppressions, and prints findings in compiler format (``path:line:col:
+[rule] message``) sorted by location so output is stable.
+
+Exit codes: 0 clean, 1 findings, 2 usage or syntax errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.checker import Project
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.findings import sort_findings
+from repro.analysis.source import SourceModule
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def iter_python_files(paths):
+    """Every ``.py`` file under ``paths`` (files or directories), sorted."""
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def load_modules(paths):
+    """Parse every file; returns (modules, error strings)."""
+    modules, errors = [], []
+    for file in iter_python_files(paths):
+        try:
+            text = file.read_text(encoding="utf-8")
+            modules.append(SourceModule(file, text))
+        except (SyntaxError, UnicodeDecodeError) as error:
+            errors.append(f"{file}: cannot parse: {error}")
+    return modules, errors
+
+
+def run_checkers(modules, rules=None):
+    """Run the selected checkers over parsed modules; sorted findings."""
+    project = Project(modules)
+    checkers = [
+        cls() for cls in ALL_CHECKERS if rules is None or cls.rule in rules
+    ]
+    findings = []
+    for module in modules:
+        findings.extend(module.bad_suppressions)
+        for checker in checkers:
+            for finding in checker.check(module, project):
+                if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    return sort_findings(findings)
+
+
+def analyze_paths(paths, rules=None):
+    """Analyze files/directories; returns (sorted findings, parse errors)."""
+    modules, errors = load_modules(paths)
+    return run_checkers(modules, rules=rules), errors
+
+
+def analyze_source(text, path="<memory>", rules=None):
+    """Analyze one in-memory source string (test/fixture convenience)."""
+    module = SourceModule(path, text)
+    return run_checkers([module], rules=rules)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: concurrency & invariant checks for this repo",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        choices=sorted(cls.rule for cls in ALL_CHECKERS),
+        help="run only the named rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for cls in ALL_CHECKERS:
+            print(f"{cls.rule}: {cls.description}")
+        return EXIT_CLEAN
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("error: at least one path is required", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        findings, errors = analyze_paths(options.paths, rules=options.rules)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    if errors:
+        return EXIT_ERROR
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return EXIT_FINDINGS
+    print("repro-lint: clean", file=sys.stderr)
+    return EXIT_CLEAN
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "load_modules",
+    "main",
+    "run_checkers",
+]

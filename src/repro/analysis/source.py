@@ -1,0 +1,221 @@
+"""Parsed source files plus the comment conventions repro-lint understands.
+
+:class:`SourceModule` wraps one Python file: its AST, its comments (parsed
+with :mod:`tokenize`, so a ``#`` inside a string never reads as a comment),
+the ``# repro-lint: ignore[...]`` suppressions, and the annotation
+conventions (``# guarded-by:``, ``# holds:``) the checkers consume.
+
+Suppression scoping: a suppression on an ordinary line covers findings
+anchored to that line; a suppression on a ``def`` or ``class`` header line
+covers every finding anchored inside that scope.  Suppressions must carry a
+justification — a bare ``ignore[...]`` is reported as a ``suppression``
+finding so silencing a rule always leaves a written reason behind.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+from repro.analysis.findings import Finding
+
+#: ``# repro-lint: ignore[rule-a, rule-b] why this is fine``
+SUPPRESSION_RE = re.compile(r"repro-lint:\s*ignore\[([^\]]*)\]\s*(.*)")
+#: ``# guarded-by: _lock`` — attribute protected by ``self._lock``.
+GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_]\w*)")
+#: ``# holds: _lock`` — method is documented to run with the lock held.
+HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)")
+
+#: Rule id for malformed suppressions (not itself suppressible).
+SUPPRESSION_RULE = "suppression"
+
+
+def node_name(node):
+    """Terminal identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(call):
+    """Terminal identifier of a call's callee, or None."""
+    return node_name(call.func) if isinstance(call, ast.Call) else None
+
+
+def is_self_attribute(node, attr=None):
+    """True for ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def mentions_identifier(node, identifier):
+    """True when ``identifier`` appears as a Name or attribute in ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == identifier:
+            return True
+        if isinstance(child, ast.Attribute) and child.attr == identifier:
+            return True
+    return False
+
+
+class Suppression:
+    """One parsed ``ignore[...]`` directive."""
+
+    __slots__ = ("line", "rules", "justification")
+
+    def __init__(self, line, rules, justification):
+        self.line = line
+        self.rules = rules
+        self.justification = justification
+
+    def covers(self, rule):
+        return rule in self.rules or "*" in self.rules
+
+
+class SourceModule:
+    """One analyzed file: source text, AST, comments, conventions."""
+
+    def __init__(self, path, text):
+        self.path = str(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        self.comments = self._scan_comments(text)
+        self.suppressions = {}  # line -> Suppression
+        self.bad_suppressions = []  # Finding list for ignore[] without a reason
+        self._scan_suppressions()
+        self._scopes = self._scan_scopes()
+        self._parents = {
+            child: parent
+            for parent in ast.walk(self.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+
+    # ------------------------------------------------------------------ #
+    # comments / suppressions
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scan_comments(text):
+        comments = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string.lstrip("#").strip()
+        except tokenize.TokenError:
+            pass  # the ast parse already succeeded; comments degrade gracefully
+        return comments
+
+    def _scan_suppressions(self):
+        for line, comment in self.comments.items():
+            match = SUPPRESSION_RE.search(comment)
+            if match is None:
+                continue
+            rules = {rule.strip() for rule in match.group(1).split(",") if rule.strip()}
+            justification = match.group(2).strip(" -—:").strip()
+            if not rules or len(justification) < 3:
+                self.bad_suppressions.append(
+                    Finding(
+                        path=self.path,
+                        line=line,
+                        col=1,
+                        rule=SUPPRESSION_RULE,
+                        message=(
+                            "suppression needs named rules and a justification: "
+                            "`# repro-lint: ignore[rule] <why this is safe>`"
+                        ),
+                    )
+                )
+                continue
+            self.suppressions[line] = Suppression(line, rules, justification)
+
+    def _scan_scopes(self):
+        """(header line, end line) for every def/class, innermost last."""
+        scopes = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                scopes.append((node.lineno, node.end_lineno or node.lineno))
+        return scopes
+
+    def suppressed(self, rule, line):
+        """True when ``rule`` is suppressed at ``line`` (or its scope header)."""
+        direct = self.suppressions.get(line)
+        if direct is not None and direct.covers(rule):
+            return True
+        for header, end in self._scopes:
+            if header <= line <= end:
+                scoped = self.suppressions.get(header)
+                if scoped is not None and scoped.covers(rule):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # annotation conventions
+    # ------------------------------------------------------------------ #
+    def guarded_by(self, node):
+        """Lock name from a ``# guarded-by:`` comment on the node's lines."""
+        for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+            comment = self.comments.get(line)
+            if comment:
+                match = GUARDED_BY_RE.search(comment)
+                if match:
+                    return match.group(1)
+        return None
+
+    def holds(self, func_node):
+        """Locks a ``# holds:`` comment on the def header declares as held."""
+        header_end = func_node.body[0].lineno if func_node.body else func_node.lineno
+        for line in range(func_node.lineno, header_end + 1):
+            comment = self.comments.get(line)
+            if comment:
+                match = HOLDS_RE.search(comment)
+                if match:
+                    return {name.strip() for name in match.group(1).split(",")}
+        return set()
+
+    # ------------------------------------------------------------------ #
+    # tree helpers
+    # ------------------------------------------------------------------ #
+    def parent(self, node):
+        return self._parents.get(node)
+
+    def classes(self):
+        return [n for n in ast.walk(self.tree) if isinstance(n, ast.ClassDef)]
+
+    def functions(self):
+        return [
+            n
+            for n in ast.walk(self.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def finding(self, node, rule, message):
+        """Build a Finding anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+__all__ = [
+    "GUARDED_BY_RE",
+    "HOLDS_RE",
+    "SUPPRESSION_RE",
+    "SUPPRESSION_RULE",
+    "SourceModule",
+    "Suppression",
+    "call_name",
+    "is_self_attribute",
+    "mentions_identifier",
+    "node_name",
+]

@@ -78,15 +78,15 @@ class ChaseCache:
         self.dependencies = list(dependencies)
         self.max_entries = max_entries
         self.chase_kwargs = chase_kwargs
-        self._cache = OrderedDict()
+        self._cache = OrderedDict()  # guarded-by: _lock
         #: Insertion log backing :meth:`snapshot` / :meth:`export_since` — the
         #: cache may evict, so "everything added after a marker" can no longer
         #: be read off the dict length alone.
-        self._log = []
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.counters = ChaseCounters()
+        self._log = []  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.counters = ChaseCounters()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __getstate__(self):
@@ -148,7 +148,7 @@ class ChaseCache:
                 self._store(key, result.query)
         return result
 
-    def _store(self, key, value):
+    def _store(self, key, value):  # holds: _lock
         """Record a fixpoint under the lock, evicting when over the bound."""
         if key not in self._cache:
             self._cache[key] = value
@@ -158,12 +158,12 @@ class ChaseCache:
         elif self.max_entries is not None:
             self._cache.move_to_end(key)
 
-    def _evict(self):
+    def _evict(self):  # holds: _lock
         while self.max_entries is not None and len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
             self.evictions += 1
 
-    def _compact_log(self):
+    def _compact_log(self):  # holds: _lock
         # Under heavy eviction churn the insertion log would otherwise grow
         # without bound.  Compaction rewrites it to the live keys; outstanding
         # snapshot markers then under-report (export_since returns fewer
@@ -176,7 +176,26 @@ class ChaseCache:
     # merging (parallel backchase / service support)
     # ------------------------------------------------------------------ #
     def __len__(self):
-        return len(self._cache)
+        # Takes the lock: a bare len(self._cache) can observe a dict
+        # mid-resize from a concurrent _store.  Lock-held internals use
+        # len(self._cache) directly, so this never self-deadlocks.
+        with self._lock:
+            return len(self._cache)
+
+    def stats(self):
+        """One consistent accounting snapshot (entries, hits, misses, evictions).
+
+        Reading the counters attribute-by-attribute from another thread can
+        interleave with a concurrent miss and report hits/misses totals that
+        never coexisted; this is the supported way to observe a live cache.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def snapshot(self):
         """Return an opaque marker for :meth:`export_since`."""
@@ -212,8 +231,19 @@ class ChaseCache:
                 self.counters.add(counters)
 
     def merge(self, other):
-        """Merge another :class:`ChaseCache` (entries and accounting)."""
-        self.merge_exported(other._cache, other.hits, other.misses, other.counters)
+        """Merge another :class:`ChaseCache` (entries and accounting).
+
+        ``other``'s state is snapshotted under *its* lock first (a live cache
+        can be merged while still being written to, e.g. replica exchange);
+        the snapshot is released before this cache's lock is taken, so the
+        two locks are never nested and cross-merges cannot deadlock.
+        """
+        with other._lock:
+            entries = dict(other._cache)
+            hits, misses = other.hits, other.misses
+            counters = ChaseCounters()
+            counters.add(other.counters)
+        self.merge_exported(entries, hits, misses, counters)
 
     def reset_counters(self):
         """Zero the accounting (entries stay).  Used when a persisted cache
@@ -241,7 +271,7 @@ class ChaseCacheRegistry:
     def __init__(self, max_entries=None, **chase_kwargs):
         self.max_entries = max_entries
         self.chase_kwargs = chase_kwargs
-        self._caches = {}
+        self._caches = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __getstate__(self):
@@ -269,18 +299,25 @@ class ChaseCacheRegistry:
             return cache
 
     def __len__(self):
-        return len(self._caches)
+        with self._lock:
+            return len(self._caches)
 
     def stats(self):
-        """Aggregate accounting over every cache in the registry."""
+        """Aggregate accounting over every cache in the registry.
+
+        Each cache contributes one consistent :meth:`ChaseCache.stats`
+        snapshot (taken under that cache's own lock) rather than raw
+        attribute reads racing against in-flight misses.
+        """
         with self._lock:
             caches = list(self._caches.values())
+        per_cache = [cache.stats() for cache in caches]
         return {
-            "caches": len(caches),
-            "entries": sum(len(cache) for cache in caches),
-            "hits": sum(cache.hits for cache in caches),
-            "misses": sum(cache.misses for cache in caches),
-            "evictions": sum(cache.evictions for cache in caches),
+            "caches": len(per_cache),
+            "entries": sum(stats["entries"] for stats in per_cache),
+            "hits": sum(stats["hits"] for stats in per_cache),
+            "misses": sum(stats["misses"] for stats in per_cache),
+            "evictions": sum(stats["evictions"] for stats in per_cache),
         }
 
     def reset_counters(self):
@@ -289,6 +326,19 @@ class ChaseCacheRegistry:
             caches = list(self._caches.values())
         for cache in caches:
             cache.reset_counters()
+
+    def set_max_entries(self, max_entries):
+        """Re-apply an LRU bound to the registry and every existing cache.
+
+        Used when loaded (restored-from-snapshot) registries are installed
+        under a shard whose configured bound differs from the saving
+        process's; over-bound caches evict down on their next insertion.
+        """
+        with self._lock:
+            self.max_entries = max_entries
+            caches = list(self._caches.values())
+        for cache in caches:
+            cache.max_entries = max_entries
 
     # ------------------------------------------------------------------ #
     # persistence (the service's warm-restart snapshots)

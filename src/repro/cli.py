@@ -443,29 +443,53 @@ def _save_snapshot(service, args):
         service.save_caches(args.snapshot)
 
 
+class _StreamEmitter:  # repro-lint: ignore[pickle-safety] never pickled — wraps a live output stream for one CLI run
+    """Serialised JSONL output + failure accounting for the stream modes.
+
+    Completion callbacks run on shard runner threads concurrently with the
+    main submission loop, so the output stream *and* the failure list are
+    owned here, behind one lock (previously an ad-hoc ``write_lock`` local
+    guarded the stream while the failure list was appended bare — exactly
+    the pattern repro-lint's lock-discipline rule now rejects).
+    """
+
+    def __init__(self, stream):
+        self.stream = stream  # guarded-by: _lock
+        self._failures = []  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def emit(self, record):
+        with self._lock:
+            print(json.dumps(record), file=self.stream)
+            self.stream.flush()
+
+    def record_failure(self, request_id):
+        with self._lock:
+            self._failures.append(request_id)
+
+    @property
+    def failed(self):
+        with self._lock:
+            return bool(self._failures)
+
+
 def _run_service_stream(args, out, streaming):
     """Drive the optimizer service from a JSONL stream (batch and serve)."""
     from repro.errors import ServiceOverloaded
 
     in_stream, close_in = _open_maybe(args.input, "r", sys.stdin)
     out_stream, close_out = _open_maybe(args.output, "w", out)
-    write_lock = threading.Lock()
-    failures = []
-
-    def emit(record):
-        with write_lock:
-            print(json.dumps(record), file=out_stream)
-            out_stream.flush()
+    emitter = _StreamEmitter(out_stream)
 
     def finish(request_id, workload, strategy, timeout, response):
         checked = None
         if args.check:
             checked = _check_against_single_shot(workload, strategy, timeout, response)
             if not checked:
-                failures.append(request_id)
+                emitter.record_failure(request_id)
         if not response.ok:
-            failures.append(request_id)
-        emit(_encode_response(request_id, workload, strategy, response, checked))
+            emitter.record_failure(request_id)
+        emitter.emit(_encode_response(request_id, workload, strategy, response, checked))
 
     service = _build_service(args)
     try:
@@ -477,8 +501,8 @@ def _run_service_stream(args, out, streaming):
             try:
                 request_id, workload, strategy, timeout = _decode_request(line, number)
             except (ValueError, TypeError) as error:
-                failures.append(number)
-                emit(error_record(number, error))
+                emitter.record_failure(number)
+                emitter.emit(error_record(number, error))
                 continue
             try:
                 future = service.submit(
@@ -493,8 +517,8 @@ def _run_service_stream(args, out, streaming):
                 # expected to back off and retry (with --check there is no
                 # plan set to verify, so it counts against the exit code).
                 if args.check:
-                    failures.append(request_id)
-                emit(overloaded_record(request_id, error))
+                    emitter.record_failure(request_id)
+                emitter.emit(overloaded_record(request_id, error))
                 continue
             if streaming:
                 # The completion event guards the shutdown path: a future's
@@ -515,7 +539,7 @@ def _run_service_stream(args, out, streaming):
                     try:
                         finish(rid, w, s, t, f.result())
                     except Exception:  # noqa: BLE001 - never lose the exit code
-                        failures.append(rid)
+                        emitter.record_failure(rid)
                     finally:
                         done.set()
 
@@ -530,7 +554,7 @@ def _run_service_stream(args, out, streaming):
             for request_id, workload, strategy, timeout, future in pending:
                 finish(request_id, workload, strategy, timeout, future.result())
         if args.stats:
-            emit({"stats": service.stats().as_dict()})
+            emitter.emit({"stats": service.stats().as_dict()})
         _save_snapshot(service, args)
     finally:
         service.shutdown()
@@ -538,7 +562,7 @@ def _run_service_stream(args, out, streaming):
             in_stream.close()
         if close_out:
             out_stream.close()
-    return 1 if failures else 0
+    return 1 if emitter.failed else 0
 
 
 def _run_socket_server(args, out):

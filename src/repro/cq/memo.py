@@ -50,10 +50,10 @@ class ContainmentMemo:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1 or None, got {max_entries!r}")
         self.max_entries = max_entries
-        self._verdicts = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._verdicts = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __getstate__(self):
@@ -108,7 +108,7 @@ class ContainmentMemo:
                 self._verdicts.move_to_end(key)
             return cached
 
-    def _store(self, key, verdict):
+    def _store(self, key, verdict):  # holds: _lock
         if key not in self._verdicts:
             self._verdicts[key] = verdict
             while self.max_entries is not None and len(self._verdicts) > self.max_entries:
@@ -137,12 +137,17 @@ class ContainmentMemo:
             self.evictions = 0
 
     def __len__(self):
-        return len(self._verdicts)
+        # Takes the lock: a bare len() can observe the OrderedDict mid-insert
+        # from a concurrent _store.  Lock-held internals (and stats()) use
+        # len(self._verdicts) directly, so this never self-deadlocks.
+        with self._lock:
+            return len(self._verdicts)
 
     @property
     def hit_rate(self):
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self):
         """Accounting snapshot (the service's shard stats aggregate these)."""

@@ -22,7 +22,7 @@ import time
 
 from repro.errors import ExecutionError
 from repro.engine.storage import Dictionary, Table
-from repro.lang.ast import Attr, Const, Dom, Eq, Lookup, SchemaRef, Var, path_variables
+from repro.lang.ast import Attr, Const, Dom, Lookup, SchemaRef, Var, path_variables
 
 
 def execute(query, database):

@@ -6,8 +6,6 @@ The printers are designed so that ``parse_query(format_query(q))`` round-trips
 
 from __future__ import annotations
 
-from repro.lang.ast import Binding, Eq, SelectFromWhere
-
 
 def format_path(path):
     """Render a path expression."""

@@ -50,7 +50,7 @@ from repro.errors import ConnectionLost, ProtocolError
 _TRANSIENT = (ProtocolError, ConnectionError, OSError)
 
 
-class _Link:
+class _Link:  # repro-lint: ignore[pickle-safety] never pickled — a link wraps a live socket and dies with its process
     """One TCP connection: socket, reader thread, pending-future demux.
 
     A link is immutable once dead — the client replaces it wholesale on
@@ -64,7 +64,7 @@ class _Link:
         self.sock.settimeout(None)
         self.reader = self.sock.makefile("r", encoding="utf-8", newline="\n")
         self.write_lock = threading.Lock()
-        self.pending = {}
+        self.pending = {}  # guarded-by: pending_lock
         self.pending_lock = threading.Lock()
         self.dead = threading.Event()
         self.thread = threading.Thread(
@@ -141,7 +141,7 @@ class _Link:
             self.thread.join(timeout=5.0)
 
 
-class OptimizerClient:
+class OptimizerClient:  # repro-lint: ignore[pickle-safety] never pickled — clients hold a live link; each process builds its own
     """JSONL-over-TCP client with id-based demux, reconnect and retries.
 
     Parameters
@@ -189,10 +189,10 @@ class OptimizerClient:
         self._rng = random.Random(backoff_seed)
         self._ids = itertools.count(1)
         self._link_lock = threading.Lock()
-        self._closed = False
-        self.reconnects = 0
-        self.replays = 0
-        self._link = _Link(host, port, connect_timeout)
+        self._closed = False  # guarded-by: _link_lock
+        self.reconnects = 0  # guarded-by: _link_lock
+        self.replays = 0  # guarded-by: _link_lock
+        self._link = _Link(host, port, connect_timeout)  # guarded-by: _link_lock
 
     # ------------------------------------------------------------------ #
     # request submission
@@ -232,13 +232,13 @@ class OptimizerClient:
                 response = self.submit(record).result(
                     timeout=self._wait_budget(timeout, give_up_at)
                 )
-            except _TRANSIENT as error:
-                if attempt >= self.retries or self._closed:
+            except _TRANSIENT:
+                if attempt >= self.retries or self._is_closed():
                     raise
                 if not self._backoff(attempt, give_up_at):
                     raise
                 attempt += 1
-                self.replays += 1
+                self._count_replay()
                 continue
             if response.get("status") == "overloaded" and attempt < self.retries:
                 if not self._backoff(
@@ -246,7 +246,7 @@ class OptimizerClient:
                 ):
                     return response  # deadline exhausted: report the overload
                 attempt += 1
-                self.replays += 1
+                self._count_replay()
                 continue
             return response
 
@@ -301,6 +301,16 @@ class OptimizerClient:
     # ------------------------------------------------------------------ #
     # reconnect + backoff plumbing
     # ------------------------------------------------------------------ #
+    def _is_closed(self):
+        """Read the closed flag under its lock (a retry loop's exit test must
+        not race :meth:`close` flipping the flag and dropping the link)."""
+        with self._link_lock:
+            return self._closed
+
+    def _count_replay(self):
+        with self._link_lock:
+            self.replays += 1
+
     def _ensure_link(self):
         with self._link_lock:
             if self._closed:

@@ -94,7 +94,7 @@ class FaultRule:
         return True
 
 
-class FaultInjector:
+class FaultInjector:  # repro-lint: ignore[pickle-safety] never pickled — configured per process from the CLI fault spec
     """Seedable, thread-safe registry of per-site fault rules.
 
     An injector with no rules is inert (every ``maybe_fail`` is a cheap
@@ -103,7 +103,7 @@ class FaultInjector:
 
     def __init__(self, seed=0):
         self.seed = seed
-        self._rules = {}
+        self._rules = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def rule(self, site, probability=1.0, times=None, after=0, crash=False):

@@ -220,7 +220,7 @@ class ServiceStats:
         }
 
 
-class MetricsCollector:
+class MetricsCollector:  # repro-lint: ignore[pickle-safety] never pickled — snapshots persist caches, not gauges
     """Thread-safe accumulator for completed-request metrics.
 
     Latencies are kept in a bounded ring buffer (``max_samples``, default
@@ -231,13 +231,13 @@ class MetricsCollector:
 
     def __init__(self, max_samples=4096):
         self._lock = threading.Lock()
-        self._latencies = deque(maxlen=max_samples)
-        self._requests = 0
-        self._errors = 0
-        self._rejected = 0
-        self._recoveries = 0
-        self._stale_sessions = 0
-        self._snapshots_loaded = 0
+        self._latencies = deque(maxlen=max_samples)  # guarded-by: _lock
+        self._requests = 0  # guarded-by: _lock
+        self._errors = 0  # guarded-by: _lock
+        self._rejected = 0  # guarded-by: _lock
+        self._recoveries = 0  # guarded-by: _lock
+        self._stale_sessions = 0  # guarded-by: _lock
+        self._snapshots_loaded = 0  # guarded-by: _lock
 
     def record(self, metrics):
         with self._lock:

@@ -60,7 +60,7 @@ class SchedulerStats:
     max_wave_size: int = 0
 
 
-class WaveScheduler:
+class WaveScheduler:  # repro-lint: ignore[pickle-safety] never pickled — owns a live thread pool and dispatcher
     """Batches work items from concurrent requests into shared executor waves.
 
     Parameters
@@ -98,7 +98,7 @@ class WaveScheduler:
             if executor == "threads"
             else None
         )
-        self._stats = SchedulerStats()
+        self._stats = SchedulerStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._closed = threading.Event()
         self._dispatcher = threading.Thread(

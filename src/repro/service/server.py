@@ -42,7 +42,7 @@ from repro.service.protocol import decode_request, encode_response, error_record
 from repro.service.service import OptimizerService
 
 
-class _Connection:
+class _Connection:  # repro-lint: ignore[pickle-safety] never pickled — wraps a live accepted socket
     """Book-keeping for one client connection."""
 
     def __init__(self, sock, address, faults=None):
@@ -50,7 +50,7 @@ class _Connection:
         self.address = address
         self.faults = faults
         self.write_lock = threading.Lock()
-        self.pending = 0
+        self.pending = 0  # guarded-by: pending_lock
         self.pending_lock = threading.Lock()
         self.drained = threading.Event()
         self.drained.set()
@@ -97,7 +97,7 @@ class _Connection:
                 pass
 
 
-class OptimizerServer:
+class OptimizerServer:  # repro-lint: ignore[pickle-safety] never pickled — owns a listening socket and live threads
     """Socket server wrapping an :class:`OptimizerService`.
 
     Parameters
@@ -144,13 +144,13 @@ class OptimizerServer:
         self._listener.bind((host, port))
         self._listener.listen(backlog)
         self.address = self._listener.getsockname()
-        self._connections = []
+        self._connections = []  # guarded-by: _connections_lock
         self._connections_lock = threading.Lock()
         self._closed = threading.Event()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="svc-accept", daemon=True
         )
-        self._handler_threads = []
+        self._handler_threads = []  # guarded-by: _connections_lock
         self._accept_thread.start()
 
     @property
@@ -176,11 +176,14 @@ class OptimizerServer:
                 daemon=True,
             )
             # Prune finished handlers so a long-lived server doesn't grow a
-            # thread-object list with every connection ever accepted.
-            self._handler_threads = [
-                thread for thread in self._handler_threads if thread.is_alive()
-            ]
-            self._handler_threads.append(handler)
+            # thread-object list with every connection ever accepted.  Under
+            # the lock: stop() snapshots this list from another thread, and
+            # the prune-and-append used to race that read.
+            with self._connections_lock:
+                self._handler_threads = [
+                    thread for thread in self._handler_threads if thread.is_alive()
+                ]
+                self._handler_threads.append(handler)
             handler.start()
 
     def _handle_connection(self, connection):
@@ -325,7 +328,9 @@ class OptimizerServer:
             except OSError:
                 pass
         self._accept_thread.join(timeout=5.0)
-        for handler in self._handler_threads:
+        with self._connections_lock:
+            handlers = list(self._handler_threads)
+        for handler in handlers:
             handler.join(timeout=5.0)
         if self._owns_service:
             self.service.shutdown()

@@ -108,7 +108,7 @@ class ServiceResponse:
 
 
 @dataclass
-class _PendingRequest:
+class _PendingRequest:  # repro-lint: ignore[pickle-safety] never pickled — lives only inside one submit() call's plumbing
     """Book-keeping pairing an admitted request with its future."""
 
     request: ServiceRequest
@@ -120,7 +120,7 @@ class _PendingRequest:
         return self._claim.acquire(blocking=False)
 
 
-class OptimizerService:
+class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — save_caches() exports session state instead
     """Long-lived, sharded, cache-warm C&B optimizer service.
 
     Parameters
@@ -206,7 +206,7 @@ class OptimizerService:
         self._metrics = MetricsCollector()
         self._request_ids = itertools.count(1)
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # admission

@@ -99,8 +99,16 @@ class _RunnerTask:
         self.slot_released = False
 
 
-class Shard:
+class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots export session state (export_sessions), not shard objects
     """One shard: scheduler + supervised runner threads + warm sessions.
+
+    Locking invariant (checked mechanically by ``repro-lint``'s
+    lock-discipline rule): every mutable counter and container on the shard
+    is annotated ``# guarded-by: _lock`` and only touched inside
+    ``with self._lock``.  The session table, admission gauges and runner
+    bookkeeping are all read by three thread families at once (runners,
+    the supervisor sweep, stats callers), so *every* access — including
+    "harmless" reads in stats paths — goes through the lock.
 
     Parameters
     ----------
@@ -180,17 +188,17 @@ class Shard:
         )
         self._faults = fault_injector
         self._tasks = queue.SimpleQueue()
-        self._sessions = OrderedDict()
+        self._sessions = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._requests = 0
-        self._sessions_evicted = 0
-        self._queue_depth = 0
-        self._queue_peak = 0
-        self._rejected = 0
-        self._runner_restarts = 0
-        self._runner_failures = 0
-        self._runner_serial = 0
-        self._runners = []
+        self._requests = 0  # guarded-by: _lock
+        self._sessions_evicted = 0  # guarded-by: _lock
+        self._queue_depth = 0  # guarded-by: _lock
+        self._queue_peak = 0  # guarded-by: _lock
+        self._rejected = 0  # guarded-by: _lock
+        self._runner_restarts = 0  # guarded-by: _lock
+        self._runner_failures = 0  # guarded-by: _lock
+        self._runner_serial = 0  # guarded-by: _lock
+        self._runners = []  # guarded-by: _lock
         self._stopping = threading.Event()
         for _ in range(max_inflight):
             self._spawn_runner()
@@ -245,9 +253,7 @@ class Shard:
         their accounting is zeroed: the restored process's stats (and the
         warm-restart benchmark) describe *this* life, not the saving one's.
         """
-        registry.max_entries = self.max_cache_entries
-        for cache in registry._caches.values():
-            cache.max_entries = self.max_cache_entries
+        registry.set_max_entries(self.max_cache_entries)
         registry.reset_counters()
         memo.max_entries = self.max_memo_entries
         memo.reset_counters()
@@ -393,7 +399,7 @@ class Shard:
             with self._lock:
                 session.requests += 1
             stats_before = session.registry.stats()
-            memo_before = (session.memo.hits, session.memo.misses)
+            memo_before = session.memo.stats()
             optimizer = CBOptimizer(
                 catalog=request.catalog,
                 constraints=request.constraints,
@@ -404,6 +410,7 @@ class Shard:
             )
             result = optimizer.optimize(request.query, strategy=request.strategy)
             registry_stats = session.registry.stats()
+            memo_after = session.memo.stats()
             metrics = RequestMetrics(
                 request_id=request.request_id,
                 shard=self.shard_id,
@@ -413,8 +420,8 @@ class Shard:
                 plan_count=result.plan_count,
                 cache_hits=registry_stats["hits"] - stats_before["hits"],
                 cache_misses=registry_stats["misses"] - stats_before["misses"],
-                memo_hits=session.memo.hits - memo_before[0],
-                memo_misses=session.memo.misses - memo_before[1],
+                memo_hits=memo_after["hits"] - memo_before["hits"],
+                memo_misses=memo_after["misses"] - memo_before["misses"],
                 timed_out=result.timed_out,
             )
             outcome = (result, metrics, None)

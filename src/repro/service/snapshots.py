@@ -219,7 +219,7 @@ def read_snapshot(path, faults=None):
     return manifest, entries
 
 
-class SnapshotManager:
+class SnapshotManager:  # repro-lint: ignore[pickle-safety] never pickled — it *writes* snapshots; the payload is session state, not the manager
     """Periodic + signal-triggered snapshotting for a running service.
 
     Wraps :meth:`OptimizerService.save_caches` in a background loop so a
@@ -227,6 +227,15 @@ class SnapshotManager:
     installs a ``SIGUSR1`` trigger for operator-requested snapshots without
     a shutdown.  Failed saves are counted (``snapshot_failures``), logged
     through ``on_error``, and never interrupt serving.
+
+    Concurrency invariants (checked by ``repro-lint``): :meth:`save` can be
+    entered from three threads at once — the periodic loop, the SIGUSR1
+    trigger's synchronous fallback, and :meth:`stop`'s final save — so both
+    the write itself *and* the outcome counters are taken under ``_lock``;
+    and every pickled container must be copied under the lock of the object
+    that owns it (``ChaseCache.__getstate__`` etc.), which is what keeps a
+    snapshot taken mid-traffic from dying with "OrderedDict mutated during
+    iteration" (the PR 6 bug the pickle-safety rule now guards).
 
     Usage::
 
@@ -245,9 +254,9 @@ class SnapshotManager:
         self.interval = interval
         self.faults = faults
         self.on_error = on_error
-        self.snapshots_written = 0
-        self.snapshot_failures = 0
-        self.last_error = None
+        self.snapshots_written = 0  # guarded-by: _lock
+        self.snapshot_failures = 0  # guarded-by: _lock
+        self.last_error = None  # guarded-by: _lock
         self._wake = threading.Event()
         self._stopped = threading.Event()
         self._thread = None
@@ -258,15 +267,22 @@ class SnapshotManager:
     # saving
     # ------------------------------------------------------------------ #
     def save(self):
-        """Take one snapshot now; returns sessions saved, or None on failure."""
+        """Take one snapshot now; returns sessions saved, or None on failure.
+
+        The outcome counters are updated under the same ``_lock`` that
+        serialises writers: they used to be bumped outside it, so two
+        concurrent saves (loop + signal) could lose an increment and
+        ``stats()`` could report totals that never coexisted.
+        """
         try:
             with self._lock:  # one writer at a time (loop + signal + stop)
                 saved = self.service.save_caches(self.path, faults=self.faults)
-            self.snapshots_written += 1
+                self.snapshots_written += 1
             return saved
         except SnapshotError as error:
-            self.snapshot_failures += 1
-            self.last_error = str(error)
+            with self._lock:
+                self.snapshot_failures += 1
+                self.last_error = str(error)
             if self.on_error is not None:
                 self.on_error(error)
             return None
@@ -342,11 +358,12 @@ class SnapshotManager:
             self._previous_handler = None
 
     def stats(self):
-        return {
-            "snapshots_written": self.snapshots_written,
-            "snapshot_failures": self.snapshot_failures,
-            "last_error": self.last_error,
-        }
+        with self._lock:
+            return {
+                "snapshots_written": self.snapshots_written,
+                "snapshot_failures": self.snapshot_failures,
+                "last_error": self.last_error,
+            }
 
 
 __all__ = [

@@ -1,0 +1,27 @@
+"""Negative fixture: every deadline-accepting call forwards the budget.
+
+Covers the forwarding shapes the checker accepts: ``deadline=`` keyword,
+positional pass-through, ``state.deadline``-style attributes, and callers
+that never received a deadline in the first place (out of scope).
+"""
+
+
+def chase_step(query, deadline=None):
+    return query, deadline
+
+
+def run_keyword(query, deadline):
+    return chase_step(query, deadline=deadline)
+
+
+def run_positional(query, deadline):
+    return chase_step(query, deadline)
+
+
+def run_via_state(query, deadline, state):
+    return chase_step(query, deadline=state.deadline)
+
+
+def run_unbounded(query):
+    # No deadline parameter here, so there is nothing to propagate.
+    return chase_step(query)

@@ -1,0 +1,14 @@
+"""Positive fixture: a deadline dropped mid-chain — deadline-propagation fires.
+
+``run_chase`` receives a ``deadline`` and calls the deadline-accepting
+``chase_step`` without passing it on, converting a bounded call into an
+unbounded one.
+"""
+
+
+def chase_step(query, deadline=None):
+    return query, deadline
+
+
+def run_chase(query, deadline):
+    return chase_step(query)  # drops the in-scope deadline: fires

@@ -1,0 +1,41 @@
+"""Negative fixture: every acquisition resolves on every path — silent.
+
+Covers the release shapes the checker accepts: ``pop`` + re-raise in the
+except handler, ``finally``-based release of a ``began()`` acquisition, and
+a ``BaseException`` handler that reports via ``set_exception`` then
+re-raises.
+"""
+
+
+class SafeDemux:
+    def __init__(self):
+        self.pending = {}
+
+    def submit(self, request_id, future, sock, data):
+        self.pending[request_id] = future
+        try:
+            sock.sendall(data)
+        except OSError as error:
+            self.pending.pop(request_id, None)
+            raise ConnectionError(str(error)) from error
+        return future
+
+
+class SafeHandler:
+    def handle(self, connection, line):
+        connection.began()
+        try:
+            return self.run(line)
+        finally:
+            connection.finished()
+
+    def run(self, line):
+        return line
+
+
+def report_crash(task, future):
+    try:
+        task()
+    except BaseException as error:
+        future.set_exception(error)
+        raise

@@ -1,0 +1,38 @@
+"""Positive fixture: leaked futures and a swallowed crash — three findings.
+
+* ``LeakyDemux.submit`` stores into ``self.pending`` and never releases.
+* ``LeakyHandler.handle`` has an except path that neither releases the
+  ``began()`` acquisition nor re-raises.
+* ``swallow_crash`` absorbs ``BaseException`` (and therefore the fault
+  harness's ``InjectedCrash``) without re-raising or reporting.
+"""
+
+
+class LeakyDemux:
+    def __init__(self):
+        self.pending = {}
+
+    def submit(self, request_id, future):
+        self.pending[request_id] = future  # never released: fires
+        return future
+
+
+class LeakyHandler:
+    def handle(self, connection, line):
+        connection.began()
+        try:
+            result = self.run(line)
+        except ValueError:
+            return None  # neither releases nor re-raises: fires
+        connection.finished()
+        return result
+
+    def run(self, line):
+        return line
+
+
+def swallow_crash(task):
+    try:
+        task()
+    except BaseException:
+        return None  # absorbs InjectedCrash silently: fires

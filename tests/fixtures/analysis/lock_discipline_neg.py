@@ -1,0 +1,34 @@
+"""Negative fixture: every guarded access is disciplined — analyzer silent.
+
+Covers the conventions the checker honours: ``with self._lock:`` blocks,
+``# holds:`` documented helpers, and nested callables that re-acquire the
+lock themselves (held locks must not leak into deferred bodies).
+"""
+
+import threading
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def _bump_locked(self):  # holds: _lock
+        self._count += 1
+
+    def deferred_bump(self):
+        def tick():
+            with self._lock:
+                self._count += 1
+
+        return tick
+
+    def __getstate__(self):
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state

@@ -1,0 +1,29 @@
+"""Positive fixture: lock-discipline must fire exactly twice here.
+
+* ``Gauge.bump`` touches a ``# guarded-by:`` attribute without the lock.
+* ``write_lock`` is an ad-hoc lock bound to a bare module-level name.
+"""
+
+import threading
+
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._count += 1  # unguarded write: lock-discipline fires here
+
+    def read(self):
+        with self._lock:
+            return self._count
+
+    def __getstate__(self):
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+
+write_lock = threading.Lock()  # ad-hoc bare-name lock: lock-discipline fires

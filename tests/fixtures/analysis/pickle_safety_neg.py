@@ -1,0 +1,28 @@
+"""Negative fixture: the pickle-safe shape of the PR 6 pattern — silent.
+
+The container snapshot happens *inside* ``with self._lock:`` and the
+unpicklable lock is stripped from the state dict before it is returned.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class SnapshotSafe:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache = OrderedDict()  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._cache[key] = value
+
+    def __getstate__(self):
+        with self._lock:
+            state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -1,0 +1,31 @@
+"""Positive fixture: the PR 6 snapshot-loop killer, distilled.
+
+``SnapshotShadow`` reproduces the bug that silently killed the background
+snapshot thread under traffic: its ``__getstate__`` copies ``self.__dict__``
+— live ``OrderedDict`` included — *outside* the guarding lock, so a
+concurrent writer mutates the cache mid-pickle; it also never strips the
+unpicklable lock.  ``NoGetstate`` owns a lock with no ``__getstate__`` at
+all.  pickle-safety must fire three times.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class SnapshotShadow:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache = OrderedDict()  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._cache[key] = value
+
+    def __getstate__(self):
+        state = dict(self.__dict__)  # copied outside self._lock: fires
+        return state  # and the lock is never stripped: fires
+
+
+class NoGetstate:  # owns a lock, defines no __getstate__: fires
+    def __init__(self):
+        self._lock = threading.Lock()

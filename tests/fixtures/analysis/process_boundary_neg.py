@@ -1,0 +1,25 @@
+"""Negative fixture: thread pools share by reference, process pools ship data.
+
+A thread executor submitting ``self._cache``/``self._memo`` is the *point*
+of a shared-memory wave executor (PR 2's ``kind="threads"`` mode) and must
+not be flagged; a process pool receiving plain picklable data is fine too.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+class ThreadWaveExecutor:
+    kind = "threads"
+
+    def __init__(self, cache, memo):
+        self._cache = cache
+        self._memo = memo
+        self._pool = ThreadPoolExecutor(max_workers=2)
+
+    def run(self, work):
+        return self._pool.submit(work, self._cache, self._memo)
+
+
+def plain_data_crossing(task, rows):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return pool.submit(task, tuple(rows)).result()

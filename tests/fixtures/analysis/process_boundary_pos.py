@@ -1,0 +1,37 @@
+"""Positive fixture: coordinator state crossing a process boundary — 3 hits.
+
+* ``ProcessWaveExecutor`` (declared ``kind = "processes"``) submits its
+  ``self._cache`` into the pool.
+* ``broken_initargs`` ships a ``shared_cache`` through ``initargs=``.
+* ``local_pool`` submits a ``registry`` through a with-bound pool.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _init_worker(shared_cache):
+    return shared_cache
+
+
+class ProcessWaveExecutor:
+    kind = "processes"
+
+    def __init__(self, cache):
+        self._cache = cache
+        self._pool = ProcessPoolExecutor(max_workers=2)
+
+    def run(self, work):
+        return self._pool.submit(work, self._cache)  # cache crosses: fires
+
+
+def broken_initargs(shared_cache):
+    return ProcessPoolExecutor(
+        max_workers=2,
+        initializer=_init_worker,
+        initargs=(shared_cache,),  # lock-carrying cache to workers: fires
+    )
+
+
+def local_pool(task, registry):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return pool.submit(task, registry).result()  # registry crosses: fires

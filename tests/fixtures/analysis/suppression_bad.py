@@ -1,0 +1,10 @@
+"""Positive fixture: an unjustified suppression does not suppress.
+
+The ``ignore[...]`` below carries no real justification, so repro-lint
+reports a ``suppression`` finding *and* the underlying lock-discipline
+finding still fires.
+"""
+
+import threading
+
+write_lock = threading.Lock()  # repro-lint: ignore[lock-discipline] no

@@ -1,0 +1,21 @@
+"""Negative fixture: justified suppressions silence findings — analyzer silent.
+
+Demonstrates both scoping forms: a class-header suppression covering the
+whole class (pickle-safety) and a line-level suppression on one access
+(lock-discipline).  Both carry written justifications.
+"""
+
+import threading
+
+
+class MonitoredGauge:  # repro-lint: ignore[pickle-safety] fixture object, never pickled
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count  # repro-lint: ignore[lock-discipline] monitoring read; a stale value is acceptable

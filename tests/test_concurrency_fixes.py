@@ -1,0 +1,218 @@
+"""Regression tests for the races repro-lint surfaced (PR 7).
+
+Each class pins one genuine finding from the analyzer's first run over the
+serving stack: counter updates that used to happen outside their lock,
+attribute-by-attribute stats reads that could observe totals that never
+coexisted, and the CLI's ad-hoc ``write_lock`` that now lives on the object
+it guards (``_StreamEmitter``).
+"""
+
+import io
+import json
+import socket
+import threading
+
+from repro.chase.implication import ChaseCache, ChaseCacheRegistry
+from repro.cli import _StreamEmitter
+from repro.cq.memo import ContainmentMemo
+from repro.errors import SnapshotError
+from repro.service.client import OptimizerClient
+from repro.service.snapshots import SnapshotManager
+
+THREADS = 8
+ROUNDS = 50
+
+
+def _hammer(worker, threads=THREADS):
+    crew = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for t in crew:
+        t.start()
+    for t in crew:
+        t.join(timeout=30.0)
+    assert not any(t.is_alive() for t in crew)
+
+
+class TestSnapshotManagerCounters:
+    """``save()`` used to bump ``snapshots_written`` outside ``_lock``."""
+
+    class _Service:
+        def __init__(self, fail=False):
+            self.fail = fail
+            self.calls = 0
+            self._lock = threading.Lock()
+
+        def save_caches(self, path, faults=None):
+            with self._lock:
+                self.calls += 1
+            if self.fail:
+                raise SnapshotError("injected")
+            return 1
+
+    def test_concurrent_saves_lose_no_increment(self, tmp_path):
+        service = self._Service()
+        manager = SnapshotManager(service, tmp_path / "x.snap")
+
+        def worker(_i):
+            for _ in range(ROUNDS):
+                assert manager.save() == 1
+
+        _hammer(worker)
+        stats = manager.stats()
+        assert stats["snapshots_written"] == THREADS * ROUNDS == service.calls
+        assert stats["snapshot_failures"] == 0
+
+    def test_concurrent_failures_lose_no_increment(self, tmp_path):
+        manager = SnapshotManager(self._Service(fail=True), tmp_path / "x.snap")
+
+        def worker(_i):
+            for _ in range(ROUNDS):
+                assert manager.save() is None
+
+        _hammer(worker)
+        stats = manager.stats()
+        assert stats["snapshot_failures"] == THREADS * ROUNDS
+        assert stats["last_error"] == "injected"
+        assert stats["snapshots_written"] == 0
+
+
+class TestChaseCacheAccounting:
+    """stats()/len() snapshot under the lock; merge() snapshots the donor."""
+
+    def test_stats_never_observes_torn_hit_miss_totals(self):
+        cache = ChaseCache([])
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                stats = cache.stats()
+                if stats["hits"] != stats["misses"]:
+                    torn.append(stats)
+
+        observer = threading.Thread(target=reader)
+        observer.start()
+
+        def worker(i):
+            for j in range(ROUNDS):
+                # hits and misses move in lockstep: any snapshot where they
+                # differ interleaved with a writer mid-update.
+                cache.merge_exported({(i, j): j}, hits=1, misses=1)
+
+        _hammer(worker)
+        stop.set()
+        observer.join(timeout=30.0)
+        assert torn == []
+        stats = cache.stats()
+        assert stats["hits"] == stats["misses"] == THREADS * ROUNDS
+        assert stats["entries"] == len(cache) == THREADS * ROUNDS
+
+    def test_merge_from_a_live_donor(self):
+        donor = ChaseCache([])
+        merged = ChaseCache([])
+        stop = threading.Event()
+
+        def writer():
+            serial = 0
+            while not stop.is_set():
+                donor.merge_exported({("live", serial): serial})
+                serial += 1
+
+        mutator = threading.Thread(target=writer)
+        mutator.start()
+        try:
+            for _ in range(ROUNDS):
+                merged.merge(donor)  # snapshots under donor._lock: no tear
+        finally:
+            stop.set()
+            mutator.join(timeout=30.0)
+        merged.merge(donor)
+        assert len(merged) == len(donor)
+
+    def test_registry_set_max_entries_rebounds_existing_caches(self):
+        registry = ChaseCacheRegistry(max_entries=None)
+        cache = registry.for_constraints([])
+        assert cache.max_entries is None
+        registry.set_max_entries(5)
+        assert registry.max_entries == 5
+        assert cache.max_entries == 5
+        # Caches created after the rebound inherit it too.
+        assert registry.for_constraints([]) is cache
+
+
+class TestContainmentMemoAccounting:
+    """len() and hit_rate take the lock (no mid-insert observation)."""
+
+    def test_hit_rate_never_observes_torn_counters(self):
+        memo = ContainmentMemo()
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                rate = memo.hit_rate
+                if rate not in (0.0, 0.5):
+                    torn.append(rate)
+
+        observer = threading.Thread(target=reader)
+        observer.start()
+
+        def worker(i):
+            donor = ContainmentMemo()
+            donor.hits = 1
+            donor.misses = 1
+            for j in range(ROUNDS):
+                donor._verdicts = {(f"s{i}", f"t{j}"): True}
+                memo.merge(donor)
+
+        _hammer(worker)
+        stop.set()
+        observer.join(timeout=30.0)
+        assert torn == []
+        assert memo.hit_rate == 0.5
+        assert len(memo) == memo.stats()["entries"] == THREADS * ROUNDS
+
+
+class TestClientClosedFlag:
+    """``request()``'s retry exit test reads ``_closed`` under ``_link_lock``."""
+
+    def test_is_closed_tracks_close(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            client = OptimizerClient(port=listener.getsockname()[1])
+            assert client._is_closed() is False
+            client.close()
+            assert client._is_closed() is True
+            client.close()  # idempotent
+            assert client.replays == 0
+        finally:
+            listener.close()
+
+
+class TestStreamEmitter:
+    """cli.py's bare ``write_lock`` local became a lock on the emitter."""
+
+    def test_concurrent_emits_interleave_whole_lines(self):
+        out = io.StringIO()
+        emitter = _StreamEmitter(out)
+
+        def worker(i):
+            for j in range(ROUNDS):
+                emitter.emit({"worker": i, "round": j})
+
+        _hammer(worker)
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == THREADS * ROUNDS
+        seen = {(r["worker"], r["round"]) for r in map(json.loads, lines)}
+        assert len(seen) == THREADS * ROUNDS  # every record intact, no tears
+
+    def test_failure_flag(self):
+        emitter = _StreamEmitter(io.StringIO())
+        assert emitter.failed is False
+
+        def worker(i):
+            emitter.record_failure(f"r{i}")
+
+        _hammer(worker)
+        assert emitter.failed is True

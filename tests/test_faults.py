@@ -23,7 +23,6 @@ deterministic :class:`~repro.service.faults.FaultInjector`:
   warm; a corrupted snapshot still boots (exit 0) with ``recoveries == 1``.
 """
 
-import json
 import os
 import pickle
 import signal

@@ -7,7 +7,6 @@ from repro.chase.stratify import (
     stratify_constraints,
 )
 from repro.cq.containment import is_equivalent
-from repro.cq.query import PCQuery
 from repro.schema.compile import inverse_dependencies, key_dependency
 from repro.workloads.ec1 import build_ec1
 from repro.workloads.ec2 import build_ec2
