@@ -34,12 +34,16 @@ bench-quick:
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
 
-# repro-lint: the in-tree AST analyzer for concurrency/invariant bugs
-# (lock-discipline, pickle-safety, deadline-propagation, future-resolution,
-# process-pool-boundary).  Emits clickable path:line:col findings; exits
-# non-zero on any finding.  No third-party deps — stdlib ast only.
+# repro-lint: the in-tree whole-program AST analyzer for concurrency and
+# invariant bugs.  Module-scope rules (lock-discipline, pickle-safety,
+# deadline-propagation, future-resolution, process-pool-boundary) plus
+# project-scope rules over the whole-program model (lock-ordering,
+# resource-lifecycle, metrics-conformance, protocol-conformance).  Emits
+# clickable path:line:col findings; exits non-zero on anything not recorded
+# in analysis-baseline.json.  No third-party deps — stdlib ast only.
 lint-concurrency:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src/repro
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.analysis src/repro benchmarks examples \
+		--baseline analysis-baseline.json
 
 # Serving-mode smoke test: pipe the 10-request JSONL workload through the
 # warm sharded service and assert every plan set matches a fresh single-shot

@@ -1,19 +1,27 @@
-"""repro-lint: AST-based concurrency & invariant analysis for this repo.
+"""repro-lint: whole-program concurrency & invariant analysis for this repo.
 
 The serving stack accumulated a family of cross-cutting invariants that no
-unit test checks mechanically: attributes guarded by locks must only be
-touched with the lock held, lock-owning classes that get pickled must strip
-their locks and copy their containers *under* the lock (the PR 6
-snapshot-under-traffic bug), ``deadline`` budgets must be threaded through
-every chase call chain, acquired futures must resolve on every path, and
-nothing carrying a lock may flow into a process-pool submission.  Following
-the spirit of integrity checking in deductive databases — declare the
-invariant once, check every state mechanically — this package encodes those
-invariants as project-specific static checks over the stdlib :mod:`ast`.
+unit test checks mechanically.  Following the spirit of integrity checking
+in deductive databases — declare the invariant once, check every state
+mechanically — this package encodes them as project-specific static checks
+over the stdlib :mod:`ast`, in two phases: phase 1 builds a
+:class:`~repro.analysis.project.ProjectModel` (module graph, import/alias
+symbol table, approximate call graph), phase 2 runs the checkers.
+
+Module-scope rules (per file, PR 7): lock-discipline, pickle-safety,
+deadline-propagation (now alias-aware and interprocedural),
+future-resolution, process-pool-boundary.  Project-scope rules (over the
+model): lock-ordering (global lock-acquisition-order graph, cycles are
+potential deadlocks), resource-lifecycle (sockets/threads/executors/files
+must be released, ``# released-by:`` teardowns are verified),
+metrics-conformance (every gauge recorded and exported), and
+protocol-conformance (record fields must come from the protocol codec).
 
 Run it as::
 
     python -m repro.analysis src/repro            # exit 0 = clean
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis src/repro --baseline analysis-baseline.json
     python -m repro.analysis --list-rules
 
 Conventions (see the README's "Static analysis" section):
@@ -22,12 +30,26 @@ Conventions (see the README's "Static analysis" section):
   attribute as protected by ``self.<lock>``.
 * ``# holds: <lock>`` on a ``def`` line declares that callers invoke the
   method with ``self.<lock>`` already held.
+* ``# released-by: <method>`` on a resource acquisition names the teardown
+  method that releases it; the analyzer verifies the method exists and
+  performs the release.
 * ``# repro-lint: ignore[rule-a, rule-b] <justification>`` suppresses the
   named rules on that line (or, on a ``def``/``class`` line, in that whole
   scope).  A suppression without a justification is itself a finding.
 """
 
+from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel
 from repro.analysis.runner import ALL_CHECKERS, analyze_paths, analyze_source, main
 
-__all__ = ["ALL_CHECKERS", "Finding", "analyze_paths", "analyze_source", "main"]
+__all__ = [
+    "ALL_CHECKERS",
+    "Finding",
+    "ProjectModel",
+    "analyze_paths",
+    "analyze_source",
+    "load_baseline",
+    "main",
+    "write_baseline",
+]

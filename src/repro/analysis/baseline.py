@@ -1,0 +1,93 @@
+"""Finding baselines: land strict-for-new-code without a flag day.
+
+A baseline is a committed JSON file of *accepted* findings.  The runner
+(with ``--baseline``) subtracts baselined findings from its output, so a
+new rule can ship enforcing cleanliness for new code while the recorded
+legacy findings are burned down over time.  Matching is by ``(path, rule,
+message)`` — deliberately *not* by line, so unrelated edits that shift a
+legacy finding up or down do not resurrect it, while any change to what
+the finding says (or a second instance of it) fails the gate.
+
+``--write-baseline`` records the current findings; CI runs with
+``--baseline analysis-baseline.json`` and fails on anything new.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def baseline_key(finding):
+    """The identity a baseline matches on (line numbers excluded)."""
+    return (Path(finding.path).as_posix(), finding.rule, finding.message)
+
+
+def load_baseline(path):
+    """Set of accepted ``(path, rule, message)`` keys from a baseline file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} baseline file")
+    keys = set()
+    for entry in data.get("findings", []):
+        keys.add((Path(entry["path"]).as_posix(), entry["rule"], entry["message"]))
+    return keys
+
+
+def write_baseline(path, findings):
+    """Record ``findings`` as the accepted baseline (sorted, stable)."""
+    entries = sorted(
+        {baseline_key(finding) for finding in findings}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": path_, "rule": rule, "message": message}
+            for path_, rule, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(findings, keys):
+    """(kept findings, number suppressed by the baseline)."""
+    kept = [f for f in findings if baseline_key(f) not in keys]
+    return kept, len(findings) - len(kept)
+
+
+def finding_to_dict(finding):
+    """JSON-ready form of a finding (the ``--format json`` record)."""
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def finding_from_dict(entry):
+    return Finding(
+        path=entry["path"],
+        line=entry.get("line", 1),
+        col=entry.get("col", 1),
+        rule=entry["rule"],
+        message=entry["message"],
+    )
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "baseline_key",
+    "finding_from_dict",
+    "finding_to_dict",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,30 +1,23 @@
-"""Checker base class and the project-wide view checkers share.
+"""Checker base class plus shared class-structure helpers.
 
-A checker is a small object with a ``rule`` id and a ``check(module,
-project)`` method yielding :class:`~repro.analysis.findings.Finding`s.
-Most checkers are purely local to one module; the deadline checker also
-consults :class:`Project` for the cross-module map of deadline-accepting
-callables.
+A checker is a small object with a ``rule`` id and a ``scope``:
+
+* ``scope = "module"`` (the PR 7 contract, unchanged): ``check(module,
+  project)`` runs once per file and may consult the shared
+  :class:`~repro.analysis.project.ProjectModel` for cross-module facts;
+* ``scope = "project"``: ``check_project(project)`` runs once per analysis
+  over the whole-program model — the home of the lock-ordering,
+  resource-lifecycle, metrics- and protocol-conformance families.
+
+Both yield :class:`~repro.analysis.findings.Finding`s; the runner applies
+suppressions by mapping each finding back to its module.
 """
 
 from __future__ import annotations
 
 import ast
 
-
-class Project:
-    """Cross-module facts shared by all checkers for one analysis run."""
-
-    def __init__(self, modules):
-        self.modules = list(modules)
-        #: bare names of functions/methods that accept a ``deadline`` param.
-        self.deadline_callables = set()
-        for module in self.modules:
-            for func in module.functions():
-                args = func.args
-                names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
-                if "deadline" in names:
-                    self.deadline_callables.add(func.name)
+from repro.analysis.project import Project, ProjectModel  # noqa: F401 - re-export
 
 
 def class_nodes(classdef):
@@ -70,12 +63,18 @@ def guarded_attributes(module, classdef):
 
 
 class Checker:
-    """Base class: subclasses set ``rule``/``description`` and implement check."""
+    """Base class: subclasses set ``rule``/``description`` and implement
+    :meth:`check` (``scope = "module"``) or :meth:`check_project`
+    (``scope = "project"``)."""
 
     rule = ""
     description = ""
+    scope = "module"
 
     def check(self, module, project):
+        raise NotImplementedError
+
+    def check_project(self, project):
         raise NotImplementedError
 
     @staticmethod
@@ -88,4 +87,10 @@ class Checker:
         ]
 
 
-__all__ = ["Checker", "Project", "class_nodes", "guarded_attributes"]
+__all__ = [
+    "Checker",
+    "Project",
+    "ProjectModel",
+    "class_nodes",
+    "guarded_attributes",
+]

@@ -1,10 +1,18 @@
-"""The five repro-lint checkers (see each module's docstring for the rule)."""
+"""The repro-lint checkers (see each module's docstring for the rule).
+
+Five module-scope rules from PR 7 (unchanged API) plus four project-scope
+families over the whole-program :class:`~repro.analysis.project.ProjectModel`.
+"""
 
 from repro.analysis.checkers.deadline import DeadlinePropagationChecker
 from repro.analysis.checkers.futures import FutureResolutionChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.lock_order import LockOrderChecker
+from repro.analysis.checkers.metrics_conformance import MetricsConformanceChecker
 from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
 from repro.analysis.checkers.process_boundary import ProcessPoolBoundaryChecker
+from repro.analysis.checkers.protocol_conformance import ProtocolConformanceChecker
+from repro.analysis.checkers.resources import ResourceLifecycleChecker
 
 ALL_CHECKERS = (
     LockDisciplineChecker,
@@ -12,6 +20,10 @@ ALL_CHECKERS = (
     DeadlinePropagationChecker,
     FutureResolutionChecker,
     ProcessPoolBoundaryChecker,
+    LockOrderChecker,
+    ResourceLifecycleChecker,
+    MetricsConformanceChecker,
+    ProtocolConformanceChecker,
 )
 
 __all__ = [
@@ -19,6 +31,10 @@ __all__ = [
     "DeadlinePropagationChecker",
     "FutureResolutionChecker",
     "LockDisciplineChecker",
+    "LockOrderChecker",
+    "MetricsConformanceChecker",
     "PickleSafetyChecker",
     "ProcessPoolBoundaryChecker",
+    "ProtocolConformanceChecker",
+    "ResourceLifecycleChecker",
 ]

@@ -6,11 +6,19 @@ Timeouts in the chase are absolute deadlines (PR 2) handed down through
 one on silently converts a bounded call into an unbounded one — the chase
 "too far" failure mode the paper is named for.
 
-The checker builds a project-wide set of callables that accept a
-``deadline`` parameter; inside any function that itself has ``deadline``,
-every call to such a callable must forward it (``deadline=...`` keyword, or
-any argument mentioning ``deadline`` — including ``state.deadline``-style
-attributes).
+Two layers, both per deadline-accepting caller:
+
+* **direct** (the PR 7 rule): every call to a deadline-accepting callable
+  must forward the budget (``deadline=...`` keyword, or any argument
+  mentioning ``deadline`` — including ``state.deadline``-style
+  attributes).  Callee names are resolved through the project symbol
+  table, so ``from repro.chase import chase as _chase`` no longer launders
+  the call out of the rule's sight.
+* **interprocedural** (whole-program): a call to a helper that accepts no
+  ``deadline`` parameter but whose (confidently resolved) call graph
+  reaches a deadline-accepting function severs the budget at that hop —
+  the helper physically cannot pass the deadline on.  Only confident
+  resolutions fire, so dynamic dispatch cannot fabricate findings.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ class DeadlinePropagationChecker(Checker):
     rule = "deadline-propagation"
     description = (
         "a function accepting `deadline` that calls a deadline-accepting "
-        "callee must pass the deadline through"
+        "callee (directly, via an import alias, or through a budget-less "
+        "intermediary) must pass the deadline through"
     )
 
     def check(self, module, project):
@@ -33,23 +42,77 @@ class DeadlinePropagationChecker(Checker):
         for func in module.functions():
             if not self._accepts_deadline(func):
                 continue
+            info = project.info_for(func)
+            interprocedural = self._severed_calls(project, info)
             for node in ast.walk(func):
                 if not isinstance(node, ast.Call):
                     continue
-                callee = node_name(node.func)
-                if callee is None or callee not in project.deadline_callables:
-                    continue
                 if self._forwards_deadline(node):
                     continue
-                findings.append(
-                    module.finding(
-                        node,
-                        self.rule,
-                        f"call to deadline-accepting '{callee}' drops the "
-                        "in-scope 'deadline'; pass deadline=... through",
+                callee = node_name(node.func)
+                if callee is None:
+                    continue
+                resolved = project.alias_target(module, callee) or callee
+                if resolved in project.deadline_callables:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule,
+                            f"call to deadline-accepting '{callee}' drops "
+                            "the in-scope 'deadline'; pass deadline=... "
+                            "through",
+                        )
                     )
-                )
+                elif node in interprocedural:
+                    target = interprocedural[node]
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.rule,
+                            f"'{callee}' accepts no deadline but its call "
+                            f"graph reaches deadline-accepting "
+                            f"'{target.qualname}'; the budget is severed "
+                            "here — thread deadline through "
+                            f"'{callee}'",
+                        )
+                    )
         return findings
+
+    @staticmethod
+    def _severed_calls(project, info):
+        """{call node: deadline-accepting FunctionInfo it reaches} for calls
+        to confidently-resolved, budget-less intermediaries."""
+        severed = {}
+        if info is None:
+            return severed
+        for node, target in project.callees(info):
+            if target.accepts_deadline or target.name.startswith("__"):
+                continue
+            if project.reaches_deadline(target):
+                witness = DeadlinePropagationChecker._deadline_witness(
+                    project, target
+                )
+                if witness is not None:
+                    severed[node] = witness
+        return severed
+
+    @staticmethod
+    def _deadline_witness(project, info, _seen=None):
+        """One deadline-accepting function ``info`` reaches (for messages)."""
+        seen = _seen if _seen is not None else set()
+        if info in seen:
+            return None
+        seen.add(info)
+        for _node, target in project.callees(info):
+            if target.accepts_deadline:
+                return target
+        for _node, target in project.callees(info):
+            witness = DeadlinePropagationChecker._deadline_witness(
+                project, target, seen
+            )
+            if witness is not None:
+                return witness
+        return None
 
     @staticmethod
     def _accepts_deadline(func):

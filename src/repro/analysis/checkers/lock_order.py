@@ -1,0 +1,268 @@
+"""lock-ordering: a global lock-acquisition-order graph must stay acyclic.
+
+The deadlock that kills a serving fleet is never in one file: shard code
+takes ``Shard._lock`` then calls into the snapshot manager, snapshot code
+takes ``SnapshotManager._lock`` then calls back into the shard — each file
+looks fine, the composition deadlocks.  This project-scope rule builds the
+whole-program lock graph and flags every cycle.
+
+Mechanics (over the :class:`~repro.analysis.project.ProjectModel`):
+
+* lock identities are class-qualified (``module:Class.attr`` /
+  ``module:name`` for module-level locks), so two classes each owning a
+  ``_lock`` are distinct nodes;
+* a function's *direct* acquisitions come from lexical ``with
+  self.<lock>:`` nesting; ``# holds: <lock>`` on a ``def`` seeds the
+  entry-held set (held, not re-acquired — the convention says the caller
+  owns it);
+* the transitive acquisition closure follows confidently-resolved call
+  edges, so holding lock A while calling a method whose callee graph
+  eventually takes lock B adds the edge ``A → B`` even across modules;
+* any cycle in the edge graph is a potential deadlock: one finding per
+  participating edge, each naming the opposing acquisition site.  A
+  non-reentrant ``Lock`` re-acquired while already held (directly or via a
+  call) is a self-deadlock finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker
+from repro.analysis.project import own_nodes
+from repro.analysis.source import is_self_attribute
+
+
+class _Acquisition:
+    """One ``with <lock>:`` site inside a function."""
+
+    __slots__ = ("lock", "kind", "node", "module")
+
+    def __init__(self, lock, kind, node, module):
+        self.lock = lock
+        self.kind = kind
+        self.node = node
+        self.module = module
+
+
+class _Edge:
+    """``held → acquired`` with the acquisition site that witnessed it."""
+
+    __slots__ = ("held", "acquired", "module", "node", "via")
+
+    def __init__(self, held, acquired, module, node, via):
+        self.held = held
+        self.acquired = acquired
+        self.module = module
+        self.node = node
+        self.via = via  # "" for a lexical with; callee qualname for a call
+
+
+class LockOrderChecker(Checker):
+    rule = "lock-ordering"
+    description = (
+        "the project-wide lock-acquisition-order graph (nested `with` "
+        "scopes + `# holds:` across call edges) must have no cycles"
+    )
+    scope = "project"
+
+    def check_project(self, project):
+        self._direct = {}  # FunctionInfo -> [_Acquisition]
+        self._closure = {}  # FunctionInfo -> {lock id: _Acquisition}
+        edges = []
+        findings = []
+        for info in project.functions:
+            self._direct[info] = self._scan_direct(project, info)
+        for info in project.functions:
+            findings.extend(self._walk(project, info, edges))
+        findings.extend(self._cycle_findings(project, edges))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # per-function acquisition structure
+    # ------------------------------------------------------------------ #
+    def _lock_of(self, project, info, node):
+        """(lock id, kind) when ``node`` is a known lock expression."""
+        module = info.module
+        if is_self_attribute(node) and info.classdef is not None:
+            locks = project.class_locks(module, info.classdef)
+            kind = locks.get(node.attr)
+            if kind is not None:
+                return project.lock_id(module, info.classdef, node.attr), kind
+        if isinstance(node, ast.Name):
+            kind = project.module_locks(module).get(node.id)
+            if kind is not None:
+                return project.lock_id(module, None, node.id), kind
+        return None, None
+
+    def _scan_direct(self, project, info):
+        """Every ``with``-acquisition lexically inside ``info``."""
+        acquisitions = []
+        for node in own_nodes(info.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    lock, kind = self._lock_of(project, info, item.context_expr)
+                    if lock is not None:
+                        acquisitions.append(
+                            _Acquisition(lock, kind, item.context_expr, info.module)
+                        )
+        return acquisitions
+
+    def _entry_held(self, project, info):
+        """Lock ids seeded by a ``# holds:`` annotation on the def."""
+        held = set()
+        for name in info.module.holds(info.node):
+            if info.classdef is not None:
+                locks = project.class_locks(info.module, info.classdef)
+                if name in locks:
+                    held.add(project.lock_id(info.module, info.classdef, name))
+                    continue
+            if name in project.module_locks(info.module):
+                held.add(project.lock_id(info.module, None, name))
+        return held
+
+    def acquires_closure(self, project, info, _stack=None):
+        """{lock id: witnessing _Acquisition} ``info`` may take, transitively."""
+        cached = self._closure.get(info)
+        if cached is not None:
+            return cached
+        stack = _stack if _stack is not None else set()
+        if info in stack:
+            return {}  # recursion in the call graph; fixpoint below is fine
+        stack.add(info)
+        closure = {}
+        for acquisition in self._direct[info]:
+            closure.setdefault(acquisition.lock, acquisition)
+        for _node, target in project.callees(info):
+            for lock, acquisition in self.acquires_closure(
+                project, target, stack
+            ).items():
+                closure.setdefault(lock, acquisition)
+        stack.discard(info)
+        self._closure[info] = closure
+        return closure
+
+    # ------------------------------------------------------------------ #
+    # edge construction
+    # ------------------------------------------------------------------ #
+    def _walk(self, project, info, edges):
+        """Collect held→acquired edges (and self-deadlocks) in one function."""
+        findings = []
+        held = self._entry_held(project, info)
+        calls_by_node = {}
+        for site in info.calls:
+            if site.confident:
+                calls_by_node[site.node] = site.targets
+
+        def visit(node, held):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                return  # deferred bodies run with their own lock context
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired_here = []
+                for item in node.items:
+                    lock, kind = self._lock_of(project, info, item.context_expr)
+                    if lock is None:
+                        continue
+                    if lock in held and kind == "Lock":
+                        findings.append(
+                            info.module.finding(
+                                item.context_expr,
+                                self.rule,
+                                f"re-acquiring non-reentrant lock {lock} "
+                                "already held here: guaranteed self-deadlock",
+                            )
+                        )
+                    for h in held:
+                        if h != lock:
+                            edges.append(
+                                _Edge(h, lock, info.module, item.context_expr, "")
+                            )
+                    acquired_here.append(lock)
+                inner = held | set(acquired_here)
+                for child in ast.iter_child_nodes(node):
+                    visit(child, inner)
+                return
+            if isinstance(node, ast.Call) and held and node in calls_by_node:
+                for target in calls_by_node[node]:
+                    closure = self.acquires_closure(project, target)
+                    for lock, acquisition in closure.items():
+                        kind = acquisition.kind
+                        if lock in held and kind == "Lock":
+                            findings.append(
+                                info.module.finding(
+                                    node,
+                                    self.rule,
+                                    f"call to '{target.qualname}' re-acquires "
+                                    f"non-reentrant lock {lock} already held "
+                                    "here (it takes the lock at "
+                                    f"{acquisition.module.path}:"
+                                    f"{acquisition.node.lineno})",
+                                )
+                            )
+                            continue
+                        for h in held:
+                            if h != lock:
+                                edges.append(
+                                    _Edge(h, lock, info.module, node, target.qualname)
+                                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for child in ast.iter_child_nodes(info.node):
+            visit(child, held)
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # cycle detection
+    # ------------------------------------------------------------------ #
+    def _cycle_findings(self, project, edges):
+        graph = {}
+        for edge in edges:
+            graph.setdefault(edge.held, set()).add(edge.acquired)
+        cyclic = set()
+        for edge in edges:
+            if self._reachable(graph, edge.acquired, edge.held):
+                cyclic.add((edge.held, edge.acquired))
+        findings = []
+        first_site = {}
+        for edge in edges:
+            key = (edge.held, edge.acquired)
+            if key in cyclic and key not in first_site:
+                first_site[key] = edge
+        for (held, acquired), edge in sorted(first_site.items()):
+            opposite = first_site.get((acquired, held))
+            if opposite is not None:
+                detail = (
+                    f"the opposite order is taken at "
+                    f"{opposite.module.path}:{opposite.node.lineno}"
+                )
+            else:
+                detail = "a longer cycle through the lock graph closes the loop"
+            via = f" via '{edge.via}'" if edge.via else ""
+            findings.append(
+                edge.module.finding(
+                    edge.node,
+                    self.rule,
+                    f"lock-order cycle: acquiring {acquired}{via} while "
+                    f"holding {held}; {detail} — potential deadlock",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _reachable(graph, start, goal):
+        seen, stack = set(), [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+
+__all__ = ["LockOrderChecker"]

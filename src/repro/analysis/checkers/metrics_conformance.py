@@ -1,0 +1,188 @@
+"""metrics-conformance: every gauge must be recorded AND exported.
+
+A gauge that is incremented but never surfaced by ``stats()``/``snapshot()``
+is invisible to operators; a gauge that is exported but never recorded lies
+to them as a constant zero.  Both drifts are silent — nothing crashes, the
+dashboards just stop meaning anything.
+
+Scope: modules named ``metrics`` (``service/metrics.py`` and any future
+sibling).  A *collector* is a lock-owning class there; its *gauges* are the
+``self.attr`` names initialised in ``__init__`` to a numeric constant or an
+empty container (``deque()``, ``{}``, ``[]``, ...).  For each gauge the
+whole-program model must show:
+
+* a **mutator** — a method of the collector that increments/assigns/appends
+  to the gauge outside ``__init__``;
+* a **recording site** — some call anywhere in the analyzed project invokes
+  that mutator (a mutator nobody calls is a dead gauge with extra steps);
+* an **exporter read** — a method named ``stats``/``snapshot``/
+  ``*_snapshot`` of the collector reads the gauge.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker, class_nodes
+from repro.analysis.source import call_name, is_self_attribute
+
+CONTAINER_FACTORIES = {
+    "deque", "dict", "list", "set", "Counter", "defaultdict", "OrderedDict",
+}
+MUTATING_METHODS = {
+    "append", "appendleft", "add", "update", "extend", "insert",
+    "setdefault", "pop", "popleft", "remove", "clear",
+}
+
+
+def _is_gauge_value(value):
+    if isinstance(value, ast.Constant) and isinstance(value.value, (int, float)):
+        return not isinstance(value.value, bool)
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)) and not getattr(
+        value, "keys", getattr(value, "elts", None)
+    ):
+        return True
+    return call_name(value) in CONTAINER_FACTORIES
+
+
+def _is_exporter(name):
+    return name in ("stats", "snapshot") or name.endswith("_snapshot")
+
+
+class MetricsConformanceChecker(Checker):
+    rule = "metrics-conformance"
+    description = (
+        "every gauge in a metrics module must be recorded by an invoked "
+        "mutator and surfaced by a stats()/snapshot() exporter"
+    )
+    scope = "project"
+
+    def check_project(self, project):
+        findings = []
+        for module in project.modules:
+            if project.module_name(module).rsplit(".", 1)[-1] != "metrics":
+                continue
+            for classdef in module.classes():
+                if not project.class_locks(module, classdef):
+                    continue
+                findings.extend(
+                    self._check_collector(project, module, classdef)
+                )
+        return findings
+
+    def _check_collector(self, project, module, classdef):
+        gauges = self._gauges(module, classdef)
+        if not gauges:
+            return []
+        methods = project.methods_of(classdef)
+        called_names = self._called_names(project)
+        findings = []
+        for attr, node in sorted(gauges.items()):
+            mutators = [
+                name
+                for name, info in methods.items()
+                if name != "__init__" and self._mutates(info.node, attr)
+            ]
+            exported = any(
+                _is_exporter(name) and self._reads(info.node, attr)
+                for name, info in methods.items()
+            )
+            if not mutators:
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"dead gauge '{attr}': initialised here but no "
+                        f"method of {classdef.name} ever records into it",
+                    )
+                )
+                continue
+            if not any(name in called_names for name in mutators):
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"gauge '{attr}' is recorded only by "
+                        f"{'/'.join(sorted(mutators))}, which nothing in "
+                        "the analyzed project ever calls",
+                    )
+                )
+            if not exported:
+                findings.append(
+                    module.finding(
+                        node,
+                        self.rule,
+                        f"write-only gauge '{attr}': recorded but never "
+                        f"surfaced by a stats()/snapshot() exporter of "
+                        f"{classdef.name}",
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # structure scans
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _gauges(module, classdef):
+        from repro.analysis.project import LOCK_FACTORIES
+
+        gauges = {}
+        for node in class_nodes(classdef):
+            if not isinstance(node, ast.Assign):
+                continue
+            if call_name(node.value) in LOCK_FACTORIES:
+                continue
+            if not _is_gauge_value(node.value):
+                continue
+            for target in node.targets:
+                if is_self_attribute(target):
+                    gauges.setdefault(target.attr, node)
+        return gauges
+
+    @staticmethod
+    def _mutates(func, attr):
+        for node in ast.walk(func):
+            if isinstance(node, ast.AugAssign) and is_self_attribute(
+                node.target, attr
+            ):
+                return True
+            if isinstance(node, ast.Assign) and any(
+                is_self_attribute(t, attr) for t in node.targets
+            ):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+                and is_self_attribute(node.func.value, attr)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _reads(func, attr):
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == attr
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _called_names(project):
+        """Terminal names of every call in the analyzed project."""
+        names = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name is not None:
+                        names.add(name)
+        return names
+
+
+__all__ = ["MetricsConformanceChecker"]

@@ -1,0 +1,169 @@
+"""protocol-conformance: record fields must come from the protocol codec.
+
+The JSONL protocol lives in one module (``service/protocol.py``) precisely
+so server, client and CLI cannot drift — but nothing stopped a handler
+from inventing ``{"pong": True}`` inline, a field no codec declares and no
+other peer knows to read.  This rule closes that hole statically.
+
+Scope: consumer modules named ``server``/``client``/``cli`` that either sit
+next to a ``protocol`` module or import one.  The protocol module's
+*declared vocabulary* is every string field it constructs or reads (dict
+literal keys, ``record["k"] = ...`` stores, ``.update(k=...)`` kwargs,
+``.get("k")``/``.setdefault("k")`` probes).  In a consumer, every *record
+construction* — a dict literal handed to ``send``/``emit``/``dumps``/
+``request``/``submit``, a dict assigned to a record-ish variable
+(``record``/``response``/``request``/``reply``/``probe``), or a subscript
+store/``setdefault`` on one — must use only declared field names.  Only
+top-level keys are checked; nested payloads belong to the codec helper
+that built them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checker import Checker
+from repro.analysis.source import call_name
+
+CONSUMER_STEMS = {"server", "client", "cli"}
+SINK_CALLS = {"send", "emit", "dumps", "request", "submit", "write"}
+RECORD_NAMES = {"record", "response", "request", "reply", "probe"}
+
+
+def _string_keys(dict_node):
+    return [
+        (key, key.value)
+        for key in dict_node.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    ]
+
+
+def _declared_fields(protocol_module):
+    declared = set()
+    for node in ast.walk(protocol_module.tree):
+        if isinstance(node, ast.Dict):
+            declared.update(value for _node, value in _string_keys(node))
+        elif isinstance(node, ast.Subscript):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                declared.add(node.slice.value)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "update":
+                declared.update(
+                    kw.arg for kw in node.keywords if kw.arg is not None
+                )
+            elif node.func.attr in ("get", "setdefault") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    declared.add(first.value)
+    return declared
+
+
+class ProtocolConformanceChecker(Checker):
+    rule = "protocol-conformance"
+    description = (
+        "JSONL records built in server/client/cli modules may only use "
+        "field names the sibling protocol module declares"
+    )
+    scope = "project"
+
+    def check_project(self, project):
+        findings = []
+        for module in project.modules:
+            stem = project.module_name(module).rsplit(".", 1)[-1]
+            if stem not in CONSUMER_STEMS:
+                continue
+            protocol = self._protocol_for(project, module)
+            if protocol is None:
+                continue
+            declared = _declared_fields(protocol)
+            findings.extend(self._check_consumer(module, protocol, declared))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # scoping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _protocol_for(project, module):
+        """The protocol module a consumer is bound to: sibling, else import."""
+        name = project.module_name(module)
+        package = name.rsplit(".", 1)[0] if "." in name else ""
+        sibling = (package + "." if package else "") + "protocol"
+        if sibling in project.by_name:
+            return project.by_name[sibling]
+        for source, _original in project.imports[id(module)].values():
+            if source.rsplit(".", 1)[-1] == "protocol":
+                resolved = project.resolve_module(source, importer=module)
+                if resolved is not None:
+                    return resolved
+        return None
+
+    # ------------------------------------------------------------------ #
+    # consumer construction sites
+    # ------------------------------------------------------------------ #
+    def _check_consumer(self, module, protocol, declared):
+        findings = []
+        for dict_node in self._record_dicts(module):
+            for key_node, key in _string_keys(dict_node):
+                if key not in declared:
+                    findings.append(self._finding(module, protocol, key_node, key))
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Store)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in RECORD_NAMES
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+                and node.slice.value not in declared
+            ):
+                findings.append(
+                    self._finding(module, protocol, node, node.slice.value)
+                )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setdefault"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in RECORD_NAMES
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value not in declared
+            ):
+                findings.append(
+                    self._finding(module, protocol, node, node.args[0].value)
+                )
+        return findings
+
+    @staticmethod
+    def _record_dicts(module):
+        """Dict literals that look like protocol records being built."""
+        dicts = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and call_name(node) in SINK_CALLS:
+                for arg in node.args:
+                    if isinstance(arg, ast.Dict):
+                        dicts.append(arg)
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+                if any(
+                    isinstance(t, ast.Name) and t.id in RECORD_NAMES
+                    for t in node.targets
+                ):
+                    dicts.append(node.value)
+        return dicts
+
+    def _finding(self, module, protocol, node, key):
+        return module.finding(
+            node,
+            self.rule,
+            f"record field '{key}' is not declared by {protocol.path}; "
+            "add it to the codec (or build this record with a protocol "
+            "helper) so server and client cannot drift",
+        )
+
+
+__all__ = ["ProtocolConformanceChecker"]

@@ -1,0 +1,436 @@
+"""Phase 1 of the whole-program analysis: the :class:`ProjectModel`.
+
+PR 7's checkers were per-file passes that shared only a bag of bare names.
+This module builds the cross-module view the project-scope rules need:
+
+* a **module graph** — every analyzed file gets a dotted module name
+  (derived from ``__init__.py`` packaging, so ``src/repro/service/shard.py``
+  is ``repro.service.shard``) and its imports are resolved back to analyzed
+  modules where possible;
+* a **symbol table** with import/alias resolution — ``from repro.chase
+  import chase as _chase`` maps the local name ``_chase`` to the original
+  ``chase``, which is how the deadline rule stops being alias-blind;
+* an approximate **call graph** — each function's call sites are resolved
+  to project functions with an explicit confidence: *exact* (self-methods,
+  locals, import aliases, attributes whose class is inferable from
+  ``self.x = ClassName(...)``) or *unique-bare* (one project-wide match on
+  an uncommon name).  Names on the :data:`AMBIGUOUS_NAMES` blocklist never
+  resolve by bare name, so ``.close()``/``.get()`` cannot fabricate edges.
+
+Checkers consume the model through small query methods
+(:meth:`ProjectModel.callees`, :meth:`ProjectModel.reaches_deadline`,
+:meth:`ProjectModel.class_locks`, ...); nothing here emits findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.source import call_name, is_self_attribute
+
+#: Call/method names too common to resolve by bare name across the project:
+#: a bare-name edge through any of these would mostly be a stdlib call.
+AMBIGUOUS_NAMES = frozenset(
+    {
+        "acquire", "add", "all", "any", "append", "appendleft", "cancel",
+        "clear", "close", "compile", "copy", "count", "debug", "decode",
+        "discard", "done", "dump", "dumps", "encode", "endswith", "error",
+        "exception", "exists", "extend", "filter", "flush", "format",
+        "fullmatch", "get", "group", "index", "info", "insert", "is_set",
+        "items", "join", "keys", "kill", "len", "load", "loads", "lower",
+        "lstrip", "main", "map", "match", "max", "min", "mkdir", "monotonic",
+        "name", "next", "open", "pop", "popleft", "print", "put", "read",
+        "readline", "recv", "release", "remove", "replace", "result",
+        "reverse", "rsplit", "rstrip", "run", "search", "send", "sendall",
+        "set", "setdefault", "shutdown", "sleep", "sort", "sorted", "split",
+        "start", "startswith", "stat", "stop", "strip", "submit", "sum",
+        "terminate", "time", "update", "upper", "values", "wait", "warning",
+        "write",
+    }
+)
+
+LOCK_FACTORIES = {"Lock": "Lock", "RLock": "RLock"}
+
+
+def module_name_for(path):
+    """Dotted module name for a file, honouring ``__init__.py`` packaging.
+
+    ``src/repro/service/shard.py`` → ``repro.service.shard``; a loose file
+    (fixture corpora have no ``__init__.py``) is just its stem.
+    """
+    path = Path(str(path))
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts))
+
+
+class FunctionInfo:
+    """One function/method plus its place in the project."""
+
+    __slots__ = (
+        "module", "node", "name", "qualname", "classdef", "class_name",
+        "accepts_deadline", "calls",
+    )
+
+    def __init__(self, module, node, qualname, classdef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.qualname = qualname
+        self.classdef = classdef
+        self.class_name = classdef.name if classdef is not None else None
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        self.accepts_deadline = "deadline" in names
+        self.calls = []  # CallSite list, filled by ProjectModel
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+class CallSite:
+    """One call expression resolved against the project."""
+
+    __slots__ = ("node", "targets", "confident")
+
+    def __init__(self, node, targets, confident):
+        self.node = node
+        self.targets = tuple(targets)
+        self.confident = confident
+
+
+def own_nodes(node):
+    """Nodes lexically inside ``node``, excluding nested defs/classes/lambdas.
+
+    Code in a nested ``def`` (or lambda) runs later, on someone else's
+    stack; its calls and lock acquisitions belong to the nested function,
+    not to the enclosing one.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+class ProjectModel:
+    """Cross-module facts shared by all checkers for one analysis run."""
+
+    def __init__(self, modules):
+        self.modules = list(modules)
+        self.by_path = {m.path: m for m in self.modules}
+        self.names = {id(m): module_name_for(m.path) for m in self.modules}
+        self.by_name = {self.names[id(m)]: m for m in self.modules}
+
+        #: module -> {local alias: (source module name, original name | None)}
+        #: ``None`` original means the alias binds the module itself.
+        self.imports = {id(m): self._scan_imports(m) for m in self.modules}
+
+        #: (module name, class name) -> ClassDef
+        self.classes = {}
+        for module in self.modules:
+            for classdef in module.classes():
+                self.classes[(self.names[id(module)], classdef.name)] = (
+                    module,
+                    classdef,
+                )
+
+        self.functions = []
+        self._info_by_node = {}
+        self._bare_functions = {}  # bare name -> [FunctionInfo]
+        for module in self.modules:
+            self._scan_functions(module)
+
+        #: bare names of functions/methods that accept a ``deadline`` param
+        #: (the PR 7 per-file contract; the interprocedural rule goes
+        #: through :meth:`reaches_deadline` instead).
+        self.deadline_callables = {
+            info.name for info in self.functions if info.accepts_deadline
+        }
+
+        #: (module name, class name) -> {attr: ClassDef key} inferred from
+        #: ``self.x = ClassName(...)`` assignments.
+        self._attr_types = {}
+        #: (module name, class name) -> {attr: "Lock" | "RLock"}
+        self._class_locks = {}
+        for key, (module, classdef) in self.classes.items():
+            self._scan_class(key, module, classdef)
+
+        for info in self.functions:
+            info.calls = self._resolve_calls(info)
+
+        self._reaches_deadline = {}
+
+    # ------------------------------------------------------------------ #
+    # symbol table
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scan_imports(module):
+        table = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    source = alias.name if alias.asname else alias.name.split(".")[0]
+                    table[local] = (source, None)
+            elif isinstance(node, ast.ImportFrom):
+                source = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = (source, alias.name)
+        return table
+
+    def module_name(self, module):
+        return self.names[id(module)]
+
+    def resolve_module(self, name, importer=None):
+        """Analyzed module for a dotted import name (suffix match allowed)."""
+        if name.startswith("."):
+            if importer is None:
+                return None
+            base = self.module_name(importer).split(".")
+            level = len(name) - len(name.lstrip("."))
+            base = base[:-level] if level <= len(base) else []
+            name = ".".join(base + ([name.lstrip(".")] if name.lstrip(".") else []))
+        if name in self.by_name:
+            return self.by_name[name]
+        suffix = "." + name
+        matches = [m for n, m in self.by_name.items() if n.endswith(suffix)]
+        return matches[0] if len(matches) == 1 else None
+
+    def alias_target(self, module, name):
+        """Original bare name behind an import alias, or None.
+
+        ``from repro.chase import chase as _chase`` → ``alias_target(m,
+        "_chase") == "chase"`` — the hook the deadline rule uses to stop
+        being alias-blind.
+        """
+        entry = self.imports[id(module)].get(name)
+        if entry is None:
+            return None
+        return entry[1]
+
+    # ------------------------------------------------------------------ #
+    # functions & classes
+    # ------------------------------------------------------------------ #
+    def _scan_functions(self, module):
+        modname = self.names[id(module)]
+        for func in module.functions():
+            chain, node = [func.name], func
+            while True:
+                parent = module.parent(node)
+                if parent is None or isinstance(parent, ast.Module):
+                    break
+                if isinstance(
+                    parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    chain.append(parent.name)
+                node = parent
+            # the *immediate* enclosing class only counts when the def is a
+            # direct child of the class body (a real method).
+            direct_parent = module.parent(func)
+            classdef = direct_parent if isinstance(direct_parent, ast.ClassDef) else None
+            qual = ".".join(reversed(chain))
+            info = FunctionInfo(module, func, f"{modname}:{qual}", classdef)
+            self.functions.append(info)
+            self._info_by_node[func] = info
+            self._bare_functions.setdefault(func.name, []).append(info)
+
+    def info_for(self, node):
+        return self._info_by_node.get(node)
+
+    def functions_of(self, module):
+        return [info for info in self.functions if info.module is module]
+
+    def methods_of(self, classdef):
+        return {
+            info.name: info
+            for info in self.functions
+            if info.classdef is classdef
+        }
+
+    def resolve_class(self, module, name):
+        """(module, ClassDef) for a class name visible in ``module``."""
+        key = (self.module_name(module), name)
+        if key in self.classes:
+            return self.classes[key]
+        entry = self.imports[id(module)].get(name)
+        if entry is not None and entry[1] is not None:
+            source = self.resolve_module(entry[0], importer=module)
+            if source is not None:
+                key = (self.module_name(source), entry[1])
+                if key in self.classes:
+                    return self.classes[key]
+        return None
+
+    def _scan_class(self, key, module, classdef):
+        from repro.analysis.checker import class_nodes
+
+        locks, attr_types = {}, {}
+        for node in class_nodes(classdef):
+            if not isinstance(node, ast.Assign):
+                continue
+            name = call_name(node.value)
+            for target in node.targets:
+                if not is_self_attribute(target):
+                    continue
+                if name in LOCK_FACTORIES:
+                    locks[target.attr] = LOCK_FACTORIES[name]
+                elif name is not None:
+                    resolved = self.resolve_class(module, name)
+                    if resolved is not None:
+                        attr_types[target.attr] = (
+                            self.module_name(resolved[0]),
+                            resolved[1].name,
+                        )
+        self._class_locks[key] = locks
+        self._attr_types[key] = attr_types
+
+    def class_locks(self, module, classdef):
+        """``{attr: "Lock" | "RLock"}`` for locks the class owns."""
+        return self._class_locks.get(
+            (self.module_name(module), classdef.name), {}
+        )
+
+    def module_locks(self, module):
+        """Module-level ``name = threading.Lock()`` bindings."""
+        locks = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                name = call_name(node.value)
+                if name in LOCK_FACTORIES:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            locks[target.id] = LOCK_FACTORIES[name]
+        return locks
+
+    def lock_id(self, module, classdef, attr):
+        """Stable display id for a lock: ``Class.attr`` qualified by module."""
+        if classdef is not None:
+            return f"{self.module_name(module)}:{classdef.name}.{attr}"
+        return f"{self.module_name(module)}:{attr}"
+
+    # ------------------------------------------------------------------ #
+    # call graph
+    # ------------------------------------------------------------------ #
+    def _resolve_calls(self, info):
+        sites = []
+        for node in own_nodes(info.node):
+            if isinstance(node, ast.Call):
+                targets, confident = self._resolve_call(info, node)
+                sites.append(CallSite(node, targets, confident))
+        return sites
+
+    def _resolve_call(self, info, call):
+        func = call.func
+        module = info.module
+        # f(...) — local/module function, import alias, else unique bare.
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = self._local_function(module, name)
+            if local is not None:
+                return [local], True
+            original = self.alias_target(module, name)
+            if original is not None:
+                entry = self.imports[id(module)][name]
+                source = self.resolve_module(entry[0], importer=module)
+                if source is not None:
+                    target = self._local_function(source, original)
+                    if target is not None:
+                        return [target], True
+                return self._bare(original)
+            return self._bare(name)
+        if not isinstance(func, ast.Attribute):
+            return [], False
+        attr = func.attr
+        # self.m(...) — method on the enclosing class.
+        if is_self_attribute(func) and info.classdef is not None:
+            method = self.methods_of(info.classdef).get(attr)
+            if method is not None:
+                return [method], True
+            return self._bare(attr)
+        # mod.f(...) — imported module attribute.
+        if isinstance(func.value, ast.Name):
+            entry = self.imports[id(module)].get(func.value.id)
+            if entry is not None and entry[1] is None:
+                source = self.resolve_module(entry[0], importer=module)
+                if source is not None:
+                    target = self._local_function(source, attr)
+                    if target is not None:
+                        return [target], True
+        # self.x.m(...) — inferred attribute type from self.x = ClassName().
+        if is_self_attribute(func.value) and info.classdef is not None:
+            key = (self.module_name(module), info.classdef.name)
+            typed = self._attr_types.get(key, {}).get(func.value.attr)
+            if typed is not None and typed in self.classes:
+                _, target_class = self.classes[typed]
+                method = self.methods_of(target_class).get(attr)
+                if method is not None:
+                    return [method], True
+        return self._bare(attr)
+
+    def _local_function(self, module, name):
+        for info in self.functions:
+            if (
+                info.module is module
+                and info.name == name
+                and info.classdef is None
+            ):
+                return info
+        return None
+
+    def _bare(self, name):
+        """Unique project-wide bare-name match, gated by the blocklist."""
+        if name in AMBIGUOUS_NAMES or name.startswith("__"):
+            return [], False
+        matches = self._bare_functions.get(name, [])
+        if len(matches) == 1:
+            return matches, True
+        return matches, False
+
+    def callees(self, info, confident_only=True):
+        """Resolved (call node, FunctionInfo) pairs for a function."""
+        pairs = []
+        for site in info.calls:
+            if confident_only and not site.confident:
+                continue
+            for target in site.targets:
+                pairs.append((site.node, target))
+        return pairs
+
+    def reaches_deadline(self, info):
+        """True when ``info`` (transitively) calls a deadline-accepting
+        function along confidently-resolved edges."""
+        cached = self._reaches_deadline.get(info)
+        if cached is not None:
+            return cached
+        self._reaches_deadline[info] = False  # cycle guard
+        result = False
+        for _node, target in self.callees(info):
+            if target.accepts_deadline or self.reaches_deadline(target):
+                result = True
+                break
+        self._reaches_deadline[info] = result
+        return result
+
+
+#: Back-compat name: PR 7 checkers take ``(module, project)``.
+Project = ProjectModel
+
+__all__ = [
+    "AMBIGUOUS_NAMES",
+    "CallSite",
+    "FunctionInfo",
+    "Project",
+    "ProjectModel",
+    "module_name_for",
+    "own_nodes",
+]

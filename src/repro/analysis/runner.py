@@ -1,10 +1,13 @@
-"""Analyzer entry point: file discovery, checker dispatch, CLI.
+"""Analyzer entry point: file discovery, two-phase dispatch, CLI.
 
 ``python -m repro.analysis <paths...>`` parses every ``.py`` file under the
-given paths, builds the cross-module :class:`~repro.analysis.checker.Project`
-view, runs every checker, applies ``# repro-lint: ignore[...]``
-suppressions, and prints findings in compiler format (``path:line:col:
-[rule] message``) sorted by location so output is stable.
+given paths, builds the whole-program
+:class:`~repro.analysis.project.ProjectModel` (phase 1), then runs every
+checker (phase 2): module-scope checkers per file, project-scope checkers
+once over the model.  ``# repro-lint: ignore[...]`` suppressions apply to
+both.  Output is compiler format (``path:line:col: [rule] message``) or
+``--format json``; ``--baseline`` subtracts accepted findings recorded by
+``--write-baseline``.
 
 Exit codes: 0 clean, 1 findings, 2 usage or syntax errors.
 """
@@ -12,12 +15,19 @@ Exit codes: 0 clean, 1 findings, 2 usage or syntax errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.analysis.checker import Project
+from repro.analysis.baseline import (
+    apply_baseline,
+    finding_to_dict,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.checkers import ALL_CHECKERS
 from repro.analysis.findings import sort_findings
+from repro.analysis.project import ProjectModel
 from repro.analysis.source import SourceModule
 
 EXIT_CLEAN = 0
@@ -52,18 +62,33 @@ def load_modules(paths):
 
 
 def run_checkers(modules, rules=None):
-    """Run the selected checkers over parsed modules; sorted findings."""
-    project = Project(modules)
+    """Two-phase run over parsed modules; sorted findings.
+
+    Phase 1 builds the shared :class:`ProjectModel`; phase 2 dispatches by
+    checker scope — ``module`` checkers see each file, ``project`` checkers
+    see the model once.  Suppressions are applied by mapping every finding
+    back to the module that owns its path.
+    """
+    project = ProjectModel(modules)
     checkers = [
         cls() for cls in ALL_CHECKERS if rules is None or cls.rule in rules
     ]
     findings = []
     for module in modules:
         findings.extend(module.bad_suppressions)
-        for checker in checkers:
-            for finding in checker.check(module, project):
-                if not module.suppressed(finding.rule, finding.line):
+    for checker in checkers:
+        if checker.scope == "project":
+            for finding in checker.check_project(project):
+                module = project.by_path.get(finding.path)
+                if module is None or not module.suppressed(
+                    finding.rule, finding.line
+                ):
                     findings.append(finding)
+        else:
+            for module in modules:
+                for finding in checker.check(module, project):
+                    if not module.suppressed(finding.rule, finding.line):
+                        findings.append(finding)
     return sort_findings(findings)
 
 
@@ -93,6 +118,22 @@ def main(argv=None):
         help="run only the named rule (repeatable; default: all rules)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output: compiler lines (text) or a JSON report",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the accepted baseline and exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
     options = parser.parse_args(argv)
@@ -112,16 +153,43 @@ def main(argv=None):
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
 
+    if options.write_baseline:
+        write_baseline(options.write_baseline, findings)
+        print(
+            f"repro-lint: baseline of {len(findings)} finding(s) written to "
+            f"{options.write_baseline}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR if errors else EXIT_CLEAN
+
+    baselined = 0
+    if options.baseline:
+        try:
+            keys = load_baseline(options.baseline)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load baseline: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        findings, baselined = apply_baseline(findings, keys)
+
+    if options.format == "json":
+        report = {
+            "findings": [finding_to_dict(f) for f in findings],
+            "errors": errors,
+            "baselined": baselined,
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
-    for finding in findings:
-        print(finding.render())
     if errors:
         return EXIT_ERROR
+    suffix = f" ({baselined} baselined)" if baselined else ""
     if findings:
-        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        print(f"repro-lint: {len(findings)} finding(s){suffix}", file=sys.stderr)
         return EXIT_FINDINGS
-    print("repro-lint: clean", file=sys.stderr)
+    print(f"repro-lint: clean{suffix}", file=sys.stderr)
     return EXIT_CLEAN
 
 

@@ -27,6 +27,9 @@ SUPPRESSION_RE = re.compile(r"repro-lint:\s*ignore\[([^\]]*)\]\s*(.*)")
 GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_]\w*)")
 #: ``# holds: _lock`` — method is documented to run with the lock held.
 HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)")
+#: ``# released-by: close`` — the named teardown method releases this
+#: resource attribute (verified by the resource-lifecycle checker).
+RELEASED_BY_RE = re.compile(r"released-by:\s*([A-Za-z_]\w*)")
 
 #: Rule id for malformed suppressions (not itself suppressible).
 SUPPRESSION_RULE = "suppression"
@@ -180,6 +183,16 @@ class SourceModule:
                     return {name.strip() for name in match.group(1).split(",")}
         return set()
 
+    def released_by(self, node):
+        """Teardown method named by ``# released-by:`` on the node's lines."""
+        for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+            comment = self.comments.get(line)
+            if comment:
+                match = RELEASED_BY_RE.search(comment)
+                if match:
+                    return match.group(1)
+        return None
+
     # ------------------------------------------------------------------ #
     # tree helpers
     # ------------------------------------------------------------------ #
@@ -210,6 +223,7 @@ class SourceModule:
 __all__ = [
     "GUARDED_BY_RE",
     "HOLDS_RE",
+    "RELEASED_BY_RE",
     "SUPPRESSION_RE",
     "SUPPRESSION_RULE",
     "SourceModule",

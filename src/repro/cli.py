@@ -51,6 +51,8 @@ from repro.service.protocol import (
     error_record,
     overloaded_record,
     plan_digest as _plan_digest,
+    serving_record,
+    stats_record,
 )
 from repro.workloads import build_ec1, build_ec2, build_ec3
 
@@ -554,7 +556,7 @@ def _run_service_stream(args, out, streaming):
             for request_id, workload, strategy, timeout, future in pending:
                 finish(request_id, workload, strategy, timeout, future.result())
         if args.stats:
-            emitter.emit({"stats": service.stats().as_dict()})
+            emitter.emit(stats_record(service.stats().as_dict()))
         _save_snapshot(service, args)
     finally:
         service.shutdown()
@@ -617,7 +619,7 @@ def _run_socket_server(args, out):
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(str(server.port))
         print(
-            json.dumps({"serving": {"host": server.address[0], "port": server.port}}),
+            json.dumps(serving_record(server.address[0], server.port)),
             file=out,
             flush=True,
         )
@@ -626,7 +628,11 @@ def _run_socket_server(args, out):
         if manager is not None:
             manager.stop(final_save=True)  # drain-time snapshot
         if args.stats:
-            print(json.dumps({"stats": service.stats().as_dict()}), file=out, flush=True)
+            print(
+                json.dumps(stats_record(service.stats().as_dict())),
+                file=out,
+                flush=True,
+            )
     finally:
         server.stop(drain=False)  # idempotent; covers the exception path
         if manager is not None:
@@ -716,7 +722,7 @@ def _run_client(args, out):
                 print(json.dumps(response), file=out_stream)
                 out_stream.flush()
             if args.stats:
-                print(json.dumps({"stats": client.stats()}), file=out_stream, flush=True)
+                print(json.dumps(stats_record(client.stats())), file=out_stream, flush=True)
     finally:
         if close_in:
             in_stream.close()

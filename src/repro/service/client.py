@@ -45,6 +45,7 @@ import time
 from concurrent.futures import Future
 
 from repro.errors import ConnectionLost, ProtocolError
+from repro.service.protocol import ping_request, stats_request
 
 #: Transport failures :meth:`OptimizerClient.request` treats as transient.
 _TRANSIENT = (ProtocolError, ConnectionError, OSError)
@@ -60,14 +61,14 @@ class _Link:  # repro-lint: ignore[pickle-safety] never pickled — a link wraps
     """
 
     def __init__(self, host, port, connect_timeout):
-        self.sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self.sock = socket.create_connection((host, port), timeout=connect_timeout)  # released-by: _teardown
         self.sock.settimeout(None)
-        self.reader = self.sock.makefile("r", encoding="utf-8", newline="\n")
+        self.reader = self.sock.makefile("r", encoding="utf-8", newline="\n")  # released-by: _teardown
         self.write_lock = threading.Lock()
         self.pending = {}  # guarded-by: pending_lock
         self.pending_lock = threading.Lock()
         self.dead = threading.Event()
-        self.thread = threading.Thread(
+        self.thread = threading.Thread(  # released-by: close
             target=self._read_loop, name="svc-client-reader", daemon=True
         )
         self.thread.start()
@@ -124,7 +125,13 @@ class _Link:  # repro-lint: ignore[pickle-safety] never pickled — a link wraps
 
     def _teardown(self, error):
         self.dead.set()
-        for method in (lambda: self.sock.shutdown(socket.SHUT_RDWR), self.sock.close):
+        # Shut the socket first (wakes a reader blocked in recv), then close
+        # the makefile wrapper and the socket itself.
+        for method in (
+            lambda: self.sock.shutdown(socket.SHUT_RDWR),
+            self.reader.close,
+            self.sock.close,
+        ):
             try:
                 method()
             except OSError:
@@ -291,12 +298,12 @@ class OptimizerClient:  # repro-lint: ignore[pickle-safety] never pickled — cl
 
     def stats(self, timeout=None):
         """Fetch the server's service-wide stats dict."""
-        response = self.request({"op": "stats"}, timeout=timeout)
+        response = self.request(stats_request(), timeout=timeout)
         return response["stats"]
 
     def ping(self, timeout=None):
         """Liveness round-trip; returns ``True`` when the server answered."""
-        return bool(self.request({"op": "ping"}, timeout=timeout).get("pong"))
+        return bool(self.request(ping_request(), timeout=timeout).get("pong"))
 
     # ------------------------------------------------------------------ #
     # reconnect + backoff plumbing

@@ -111,6 +111,40 @@ def encode_response(request_id, workload, strategy, response, checked=None):
     return record
 
 
+def stats_request(request_id=None):
+    """The control line asking the server for a service-stats record."""
+    record = {"op": "stats"}
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def ping_request(request_id=None):
+    """The control line asking the server for a liveness echo."""
+    record = {"op": "ping"}
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def stats_record(stats, request_id=None):
+    """The typed reply to ``{"op": "stats"}`` (also the CLI's stats trailer)."""
+    record = {"stats": stats}
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def pong_record(request_id):
+    """The typed reply to ``{"op": "ping"}``."""
+    return {"id": request_id, "pong": True}
+
+
+def serving_record(host, port):
+    """The CLI's startup announcement: where the server is listening."""
+    return {"serving": {"host": host, "port": port}}
+
+
 def error_record(request_id, error):
     """The typed record for a request that could not be decoded or executed."""
     record = {"id": request_id, "status": "error", "error": str(error)}
@@ -145,5 +179,10 @@ __all__ = [
     "encode_response",
     "error_record",
     "overloaded_record",
+    "ping_request",
     "plan_digest",
+    "pong_record",
+    "serving_record",
+    "stats_record",
+    "stats_request",
 ]

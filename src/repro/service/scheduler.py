@@ -101,7 +101,7 @@ class WaveScheduler:  # repro-lint: ignore[pickle-safety] never pickled — owns
         self._stats = SchedulerStats()  # guarded-by: _stats_lock
         self._stats_lock = threading.Lock()
         self._closed = threading.Event()
-        self._dispatcher = threading.Thread(
+        self._dispatcher = threading.Thread(  # released-by: shutdown
             target=self._dispatch_loop, name="svc-dispatch", daemon=True
         )
         self._dispatcher.start()

@@ -38,7 +38,14 @@ import threading
 
 from repro.errors import InjectedFault, ServiceOverloaded
 from repro.service.faults import maybe_fail
-from repro.service.protocol import decode_request, encode_response, error_record, overloaded_record
+from repro.service.protocol import (
+    decode_request,
+    encode_response,
+    error_record,
+    overloaded_record,
+    pong_record,
+    stats_record,
+)
 from repro.service.service import OptimizerService
 
 
@@ -139,7 +146,7 @@ class OptimizerServer:  # repro-lint: ignore[pickle-safety] never pickled — ow
             if fault_injector is not None
             else getattr(self.service, "fault_injector", None)
         )
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)  # released-by: stop
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(backlog)
@@ -147,7 +154,7 @@ class OptimizerServer:  # repro-lint: ignore[pickle-safety] never pickled — ow
         self._connections = []  # guarded-by: _connections_lock
         self._connections_lock = threading.Lock()
         self._closed = threading.Event()
-        self._accept_thread = threading.Thread(
+        self._accept_thread = threading.Thread(  # released-by: stop
             target=self._accept_loop, name="svc-accept", daemon=True
         )
         self._handler_threads = []  # guarded-by: _connections_lock
@@ -225,6 +232,10 @@ class OptimizerServer:  # repro-lint: ignore[pickle-safety] never pickled — ow
             # responses so the final lines are written before close.
             connection.drained.wait()
             try:
+                reader.close()
+            except OSError:
+                pass
+            try:
                 connection.sock.close()
             except OSError:
                 pass
@@ -279,9 +290,9 @@ class OptimizerServer:  # repro-lint: ignore[pickle-safety] never pickled — ow
         op = record.get("op")
         request_id = record.get("id", number)
         if op == "stats":
-            connection.send({"id": request_id, "stats": self.service.stats().as_dict()})
+            connection.send(stats_record(self.service.stats().as_dict(), request_id))
         elif op == "ping":
-            connection.send({"id": request_id, "pong": True})
+            connection.send(pong_record(request_id))
         else:
             connection.send(error_record(request_id, f"unknown op {op!r}"))
 

@@ -203,7 +203,7 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
         for _ in range(max_inflight):
             self._spawn_runner()
         self._supervisor_interval = supervisor_interval
-        self._supervisor = threading.Thread(
+        self._supervisor = threading.Thread(  # released-by: shutdown
             target=self._supervise, name=f"svc-shard{shard_id}-supervisor", daemon=True
         )
         self._supervisor.start()

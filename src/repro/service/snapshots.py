@@ -305,7 +305,7 @@ class SnapshotManager:  # repro-lint: ignore[pickle-safety] never pickled — it
         """Start the periodic loop (no-op without an ``interval``)."""
         if self.interval is None or self._thread is not None:
             return self
-        self._thread = threading.Thread(
+        self._thread = threading.Thread(  # released-by: stop
             target=self._loop, name="svc-snapshots", daemon=True
         )
         self._thread.start()

@@ -19,6 +19,9 @@ class ThreadWaveExecutor:
     def run(self, work):
         return self._pool.submit(work, self._cache, self._memo)
 
+    def close(self):
+        self._pool.shutdown()
+
 
 def plain_data_crossing(task, rows):
     with ProcessPoolExecutor(max_workers=2) as pool:

@@ -23,6 +23,9 @@ class ProcessWaveExecutor:
     def run(self, work):
         return self._pool.submit(work, self._cache)  # cache crosses: fires
 
+    def close(self):
+        self._pool.shutdown()
+
 
 def broken_initargs(shared_cache):
     return ProcessPoolExecutor(

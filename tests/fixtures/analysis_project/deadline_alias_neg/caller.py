@@ -1,0 +1,7 @@
+"""Negative alias fixture: the aliased call forwards the deadline — silent."""
+
+from engine import chase as _chase
+
+
+def run(query, deadline):
+    return _chase(query, deadline=deadline)

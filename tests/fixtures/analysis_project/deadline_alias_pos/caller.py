@@ -1,0 +1,8 @@
+"""Positive alias fixture: ``from engine import chase as _chase`` severs
+the budget — the pre-fix checker missed the aliased name entirely."""
+
+from engine import chase as _chase
+
+
+def run(query, deadline):
+    return _chase(query)

@@ -1,0 +1,8 @@
+"""Alias-regression fixture: the deadline-accepting callee."""
+
+
+def chase(query, deadline=None):
+    steps = [query]
+    if deadline is not None:
+        steps.append(deadline)
+    return steps

@@ -1,0 +1,16 @@
+"""Negative interprocedural fixture: the helper threads the budget — silent."""
+
+
+def chase_engine(query, deadline=None):
+    steps = [query]
+    if deadline is not None:
+        steps.append(deadline)
+    return steps
+
+
+def launder(query, deadline=None):
+    return chase_engine(query, deadline=deadline)
+
+
+def run(query, deadline):
+    return launder(query, deadline=deadline)

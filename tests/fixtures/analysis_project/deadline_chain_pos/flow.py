@@ -1,0 +1,21 @@
+"""Positive interprocedural fixture: a budget laundered through a helper.
+
+``run`` accepts a deadline and calls ``launder``, which takes no budget yet
+reaches the deadline-accepting ``chase_engine`` — the deadline silently
+stops propagating one hop in.
+"""
+
+
+def chase_engine(query, deadline=None):
+    steps = [query]
+    if deadline is not None:
+        steps.append(deadline)
+    return steps
+
+
+def launder(query):
+    return chase_engine(query)
+
+
+def run(query, deadline):
+    return launder(query)

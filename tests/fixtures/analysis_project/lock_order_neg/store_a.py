@@ -1,0 +1,24 @@
+"""Negative fixture (cross-module): consistent lock order — silent.
+
+Same two classes as the positive twin, but every path acquires
+``_ledger_lock`` before ``_mirror_lock``: the lock graph has one direction
+and no cycle.
+"""
+
+import threading
+
+
+class Ledger:  # repro-lint: ignore[pickle-safety] fixture class, never pickled
+    def __init__(self, mirror):
+        self._ledger_lock = threading.Lock()
+        self.mirror = mirror
+        self.entries = {}
+
+    def post(self, key, value):
+        with self._ledger_lock:
+            self.entries[key] = value
+            self.mirror.reflect(key, value)  # ledger -> mirror, the one order
+
+    def audit(self, key):
+        with self._ledger_lock:
+            return self.entries.get(key)

@@ -1,0 +1,27 @@
+"""Negative fixture (cross-module): the disciplined mirror — silent.
+
+``replay`` reads the ledger *before* taking its own lock, so no path holds
+``_mirror_lock`` while acquiring ``_ledger_lock`` and the acquisition graph
+stays acyclic.
+"""
+
+import threading
+
+from store_a import Ledger
+
+
+class Mirror:  # repro-lint: ignore[pickle-safety] fixture class, never pickled
+    def __init__(self):
+        self._mirror_lock = threading.Lock()
+        self.ledger = Ledger(self)
+        self.shadow = {}
+
+    def reflect(self, key, value):
+        with self._mirror_lock:
+            self.shadow[key] = value
+
+    def replay(self, key):
+        value = self.ledger.audit(key)  # ledger lock released before ours
+        with self._mirror_lock:
+            self.shadow[key] = value
+            return value

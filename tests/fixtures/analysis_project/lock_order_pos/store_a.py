@@ -1,0 +1,26 @@
+"""Positive fixture (cross-module): half of a lock-order inversion.
+
+``Ledger.post`` acquires ``Ledger._ledger_lock`` and then calls into the
+mirror, whose ``reflect`` takes ``Mirror._mirror_lock`` — the edge
+``_ledger_lock → _mirror_lock``.  ``store_b.Mirror.replay`` takes the same
+two locks in the opposite order, closing the cycle: two threads running
+``post`` and ``replay`` concurrently deadlock.
+"""
+
+import threading
+
+
+class Ledger:  # repro-lint: ignore[pickle-safety] fixture class, never pickled
+    def __init__(self, mirror):
+        self._ledger_lock = threading.Lock()
+        self.mirror = mirror
+        self.entries = {}
+
+    def post(self, key, value):
+        with self._ledger_lock:
+            self.entries[key] = value
+            self.mirror.reflect(key, value)  # edge: _ledger_lock -> _mirror_lock
+
+    def audit(self, key):
+        with self._ledger_lock:
+            return self.entries.get(key)

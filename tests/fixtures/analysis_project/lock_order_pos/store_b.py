@@ -1,0 +1,25 @@
+"""Positive fixture (cross-module): the other half of the inversion.
+
+``Mirror.replay`` acquires ``Mirror._mirror_lock`` and then calls
+``Ledger.audit``, which takes ``Ledger._ledger_lock`` — the edge
+``_mirror_lock → _ledger_lock``, opposite to ``store_a.Ledger.post``.
+"""
+
+import threading
+
+from store_a import Ledger
+
+
+class Mirror:  # repro-lint: ignore[pickle-safety] fixture class, never pickled
+    def __init__(self):
+        self._mirror_lock = threading.Lock()
+        self.ledger = Ledger(self)
+        self.shadow = {}
+
+    def reflect(self, key, value):
+        with self._mirror_lock:
+            self.shadow[key] = value
+
+    def replay(self, key):
+        with self._mirror_lock:
+            return self.ledger.audit(key)  # edge: _mirror_lock -> _ledger_lock

@@ -1,0 +1,32 @@
+"""Negative fixture: a fully conformant metrics module — silent.
+
+Every gauge has a mutator, every mutator is invoked somewhere in the
+project, and every gauge appears in the exported snapshot.
+"""
+
+import threading
+
+
+class Telemetry:  # repro-lint: ignore[pickle-safety] fixture collector, never pickled
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._served = 0
+        self._dropped = 0
+
+    def record_served(self):
+        with self._lock:
+            self._served += 1
+
+    def record_dropped(self):
+        with self._lock:
+            self._dropped += 1
+
+    def snapshot(self):
+        with self._lock:
+            return {"served": self._served, "dropped": self._dropped}
+
+
+def drive(telemetry):
+    telemetry.record_served()
+    telemetry.record_dropped()
+    return telemetry.snapshot()

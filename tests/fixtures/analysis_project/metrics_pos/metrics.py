@@ -1,0 +1,44 @@
+"""Positive fixture: a metrics module with three conformance defects.
+
+``Telemetry`` owns four gauges:
+
+- ``_served``  — mutated, mutator invoked, exported: clean.
+- ``_dropped`` — mutated and invoked but missing from the snapshot:
+  write-only gauge.
+- ``_phantom`` — declared but no method ever writes it: dead gauge.
+- ``_orphaned`` — has a mutator (``record_orphaned``) that nothing in the
+  project calls: never-invoked mutator.
+"""
+
+import threading
+
+
+class Telemetry:  # repro-lint: ignore[pickle-safety] fixture collector, never pickled
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._served = 0
+        self._dropped = 0
+        self._phantom = 0
+        self._orphaned = 0
+
+    def record_served(self):
+        with self._lock:
+            self._served += 1
+
+    def record_dropped(self):
+        with self._lock:
+            self._dropped += 1
+
+    def record_orphaned(self):
+        with self._lock:
+            self._orphaned += 1
+
+    def snapshot(self):
+        with self._lock:
+            return {"served": self._served, "orphaned": self._orphaned}
+
+
+def drive(telemetry):
+    telemetry.record_served()
+    telemetry.record_dropped()
+    return telemetry.snapshot()

@@ -1,0 +1,14 @@
+"""Negative fixture protocol module: declares id/status/plans/error."""
+
+
+def ok_record(request_id, plans):
+    return {"id": request_id, "status": "ok", "plans": plans}
+
+
+def error_record(request_id, message):
+    record = {"id": request_id, "status": "error"}
+    record["error"] = message
+    return record
+
+
+__all__ = ["ok_record", "error_record"]

@@ -1,0 +1,11 @@
+"""Negative fixture consumer: only declared fields cross the wire — silent."""
+
+from protocol import ok_record
+
+
+def handle(request_id, emit):
+    emit(ok_record(request_id, []))
+    response = {"id": request_id, "status": "error"}
+    response["error"] = "nope"
+    response.setdefault("plans", [])
+    emit(response)

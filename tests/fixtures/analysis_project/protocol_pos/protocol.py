@@ -1,0 +1,8 @@
+"""Positive fixture protocol module: the declared wire vocabulary."""
+
+
+def ok_record(request_id, plans):
+    return {"id": request_id, "status": "ok", "plans": plans}
+
+
+__all__ = ["ok_record"]

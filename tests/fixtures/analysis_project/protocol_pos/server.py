@@ -1,0 +1,13 @@
+"""Positive fixture consumer: emits a field the protocol never declared.
+
+``weather`` is not part of the vocabulary in ``protocol.py`` — exactly one
+protocol-conformance finding.
+"""
+
+from protocol import ok_record
+
+
+def handle(request_id, emit):
+    emit(ok_record(request_id, []))
+    response = {"id": request_id, "weather": "sunny"}
+    emit(response)

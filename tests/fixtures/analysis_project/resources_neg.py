@@ -1,0 +1,67 @@
+"""Negative fixture: every resource is released — silent.
+
+Covers the release idioms the checker must recognise: a ``close`` method
+calling the release verbs, a bound-method reference (released through a
+closer tuple), ``with`` management, ``finally`` cleanup, ownership escape
+by returning the handle, and deferred ``with`` on an already-open handle.
+"""
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class TidyTransport:
+    def __init__(self, host, port):
+        self.conn = socket.create_connection((host, port))
+        self.pump = threading.Thread(target=self._run, daemon=True)
+        self.workers = ThreadPoolExecutor(max_workers=2)
+        self.pump.start()
+
+    def _run(self):
+        while not getattr(self.conn, "_closed", False):
+            self.conn.sendall(b"tick\n")
+
+    def close(self):
+        self.workers.shutdown(wait=False)
+        self.conn.close()
+        self.pump.join(timeout=1.0)
+
+
+class ReferenceRelease:
+    """Releases via bound-method references collected into a closer tuple."""
+
+    def __init__(self, host, port):
+        self.conn = socket.create_connection((host, port))
+        self.pool = ThreadPoolExecutor(max_workers=1)
+
+    def teardown(self):
+        for closer in (self.conn.close, self.pool.shutdown):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+def with_managed(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def finally_closed(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def escapes(path):
+    handle = open(path)
+    return handle  # caller owns it now
+
+
+def later_with(path):
+    handle = open(path)
+    with handle:
+        return handle.read()

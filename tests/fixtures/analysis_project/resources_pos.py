@@ -1,0 +1,44 @@
+"""Positive fixture: leaked resources — five resource-lifecycle findings.
+
+1. ``LeakyTransport.conn`` — a socket opened in ``__init__`` that no method
+   of the class ever closes.
+2. ``LeakyTransport.pump`` — a thread started and never joined.
+3. ``LeakyTransport.workers`` — an executor whose ``# released-by:``
+   annotation names a method the class does not define.
+4. ``MisdeclaredPool.pool`` — a ``# released-by: stop`` annotation whose
+   ``stop`` method exists but performs no release.
+5. ``slurp`` — a local file handle that escapes neither ``with`` nor
+   ``finally`` (returning ``handle.read()`` is not returning the handle).
+"""
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class LeakyTransport:
+    def __init__(self, host, port):
+        self.conn = socket.create_connection((host, port))
+        self.pump = threading.Thread(target=self._run, daemon=True)
+        self.workers = ThreadPoolExecutor(max_workers=2)  # released-by: teardown
+        self.pump.start()
+
+    def _run(self):
+        while True:
+            self.conn.sendall(b"tick\n")
+
+    def submit(self, fn):
+        return self.workers.submit(fn)
+
+
+class MisdeclaredPool:
+    def __init__(self):
+        self.pool = ThreadPoolExecutor(max_workers=1)  # released-by: stop
+
+    def stop(self):
+        pass  # forgot to shut the pool down
+
+
+def slurp(path):
+    handle = open(path)
+    return handle.read()

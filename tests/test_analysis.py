@@ -26,7 +26,10 @@ from repro.analysis.source import SUPPRESSION_RULE
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
 SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
-RULES = sorted(cls.rule for cls in ALL_CHECKERS)
+# This file covers the module-scope rules; the project-scope rules
+# (lock-ordering, resource-lifecycle, metrics/protocol conformance) have
+# their own corpus and suite in test_analysis_project.py.
+RULES = sorted(cls.rule for cls in ALL_CHECKERS if cls.scope == "module")
 
 #: rule id -> (positive fixture, expected finding count)
 POSITIVE = {

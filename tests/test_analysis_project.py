@@ -1,0 +1,226 @@
+"""Project-scope repro-lint suite: whole-program rules, baselines, reporting.
+
+Companion to ``test_analysis.py`` (which owns the module-scope rules).
+Fixture-driven over ``tests/fixtures/analysis_project/``: each project-scope
+rule has a positive corpus (the rule must fire, with an exact count) and a
+disciplined negative twin (the analyzer must stay silent), plus regression
+corpora for the two deadline-propagation fixes this analyzer generation
+added — import-alias resolution and interprocedural budget laundering.
+
+The reporting half pins the CI contract: ``--format json`` emits a parseable
+report, baselines round-trip and subtract, the committed
+``analysis-baseline.json`` keeps ``src/repro`` clean, and the README
+documents every registered rule.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_CHECKERS, analyze_paths
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.runner import EXIT_CLEAN, EXIT_FINDINGS, main
+
+REPO = Path(__file__).resolve().parents[1]
+CORPUS = Path(__file__).resolve().parent / "fixtures" / "analysis_project"
+SRC = REPO / "src" / "repro"
+README = REPO / "README.md"
+BASELINE = REPO / "analysis-baseline.json"
+
+PROJECT_RULES = sorted(
+    cls.rule for cls in ALL_CHECKERS if cls.scope == "project"
+)
+
+#: rule id -> (fixture file or directory, expected finding count)
+POSITIVE = {
+    "lock-ordering": ("lock_order_pos", 2),
+    "resource-lifecycle": ("resources_pos.py", 5),
+    "metrics-conformance": ("metrics_pos", 3),
+    "protocol-conformance": ("protocol_pos", 1),
+}
+
+NEGATIVE = {
+    "lock-ordering": "lock_order_neg",
+    "resource-lifecycle": "resources_neg.py",
+    "metrics-conformance": "metrics_neg",
+    "protocol-conformance": "protocol_neg",
+}
+
+
+def analyze_fixture(name, rules=None):
+    findings, errors = analyze_paths([str(CORPUS / name)], rules=rules)
+    assert errors == []
+    return findings
+
+
+class TestProjectCorpus:
+    def test_corpus_is_complete(self):
+        """Every project-scope rule has a positive and a negative corpus."""
+        assert set(POSITIVE) == set(PROJECT_RULES)
+        assert set(NEGATIVE) == set(PROJECT_RULES)
+        for name, _count in POSITIVE.values():
+            assert (CORPUS / name).exists(), name
+        for name in NEGATIVE.values():
+            assert (CORPUS / name).exists(), name
+
+    @pytest.mark.parametrize("rule", PROJECT_RULES)
+    def test_positive_corpus_fires_exactly_its_rule(self, rule):
+        """All checkers on: the positive corpus yields only its own rule."""
+        name, count = POSITIVE[rule]
+        findings = analyze_fixture(name)
+        assert {f.rule for f in findings} == {rule}
+        assert len(findings) == count
+
+    @pytest.mark.parametrize("rule", PROJECT_RULES)
+    def test_negative_corpus_is_silent(self, rule):
+        assert analyze_fixture(NEGATIVE[rule]) == []
+
+    @pytest.mark.parametrize("rule", PROJECT_RULES)
+    def test_disabling_the_checker_silences_its_corpus(self, rule):
+        """Each project checker is load-bearing, same as the module ones."""
+        others = [r for r in PROJECT_RULES if r != rule]
+        name, _count = POSITIVE[rule]
+        assert analyze_fixture(name, rules=others) == []
+        assert analyze_fixture(name, rules=[rule]) != []
+
+
+class TestLockOrderInversion:
+    """The seeded cross-module deadlock the tentpole must demonstrably catch."""
+
+    def test_both_sides_of_the_cycle_are_named(self):
+        findings = analyze_fixture("lock_order_pos")
+        paths = sorted(Path(f.path).name for f in findings)
+        assert paths == ["store_a.py", "store_b.py"]
+        for finding in findings:
+            assert "lock-order cycle" in finding.message
+            assert "potential deadlock" in finding.message
+        # Each finding points at the *opposite* edge's site, so a reader can
+        # jump straight to the conflicting acquisition.
+        by_name = {Path(f.path).name: f.message for f in findings}
+        assert "store_b.py" in by_name["store_a.py"]
+        assert "store_a.py" in by_name["store_b.py"]
+
+    def test_consistent_order_is_silent(self):
+        assert analyze_fixture("lock_order_neg") == []
+
+
+class TestDeadlineRegressions:
+    """PR 8's two deadline-propagation fixes, pinned as corpora."""
+
+    def test_import_alias_no_longer_blinds_the_checker(self):
+        """`from engine import chase as _chase` severs the budget: fires."""
+        findings = analyze_fixture("deadline_alias_pos")
+        assert [f.rule for f in findings] == ["deadline-propagation"]
+        assert "_chase" in findings[0].message
+        assert Path(findings[0].path).name == "caller.py"
+
+    def test_aliased_call_forwarding_the_deadline_is_silent(self):
+        assert analyze_fixture("deadline_alias_neg") == []
+
+    def test_interprocedural_laundering_is_flagged(self):
+        """A budget-less helper that reaches a deadline callee: fires."""
+        findings = analyze_fixture("deadline_chain_pos")
+        assert [f.rule for f in findings] == ["deadline-propagation"]
+        assert "launder" in findings[0].message
+        assert "chase_engine" in findings[0].message
+
+    def test_threading_the_budget_through_the_helper_is_silent(self):
+        assert analyze_fixture("deadline_chain_neg") == []
+
+
+class TestBaseline:
+    def test_round_trip_and_subtraction(self, tmp_path):
+        findings = analyze_fixture("resources_pos.py")
+        assert len(findings) == 5
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        keys = load_baseline(path)
+        assert keys == {baseline_key(f) for f in findings}
+        kept, count = apply_baseline(findings, keys)
+        assert kept == [] and count == 5
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        """Unrelated edits that shift a finding must not resurrect it."""
+        findings = analyze_fixture("resources_pos.py")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        keys = load_baseline(path)
+        shifted = [dataclasses.replace(f, line=f.line + 40) for f in findings]
+        kept, count = apply_baseline(shifted, keys)
+        assert kept == [] and count == len(findings)
+
+    def test_wrong_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_cli_write_then_enforce(self, tmp_path, capsys):
+        """--write-baseline records findings; --baseline then gates clean."""
+        corpus = str(CORPUS / "resources_pos.py")
+        baseline = str(tmp_path / "baseline.json")
+        assert main([corpus, "--write-baseline", baseline]) == EXIT_CLEAN
+        assert main([corpus, "--baseline", baseline]) == EXIT_CLEAN
+        captured = capsys.readouterr()
+        assert "(5 baselined)" in captured.err
+
+    def test_cli_new_finding_still_fails_the_gate(self, tmp_path, capsys):
+        """A baseline of *other* findings does not absorb a fresh one."""
+        baseline = str(tmp_path / "baseline.json")
+        clean = str(CORPUS / "resources_neg.py")
+        dirty = str(CORPUS / "resources_pos.py")
+        assert main([clean, "--write-baseline", baseline]) == EXIT_CLEAN
+        assert main([dirty, "--baseline", baseline]) == EXIT_FINDINGS
+        captured = capsys.readouterr()
+        assert "5 finding(s)" in captured.err
+
+
+class TestJSONReport:
+    def test_json_format_is_a_parseable_report(self, capsys):
+        assert main(
+            [str(CORPUS / "resources_pos.py"), "--format", "json"]
+        ) == EXIT_FINDINGS
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"findings", "errors", "baselined"}
+        assert report["errors"] == [] and report["baselined"] == 0
+        assert len(report["findings"]) == 5
+        for entry in report["findings"]:
+            assert set(entry) == {"path", "line", "col", "rule", "message"}
+            assert entry["rule"] == "resource-lifecycle"
+
+    def test_clean_json_report_exits_zero(self, capsys):
+        assert main(
+            [str(CORPUS / "resources_neg.py"), "--format", "json"]
+        ) == EXIT_CLEAN
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == []
+
+
+class TestRepoContract:
+    """The CI gate, as committed: src/repro is clean against the baseline."""
+
+    def test_committed_baseline_is_current_format(self):
+        data = json.loads(BASELINE.read_text(encoding="utf-8"))
+        assert data["version"] == BASELINE_VERSION
+
+    def test_serving_stack_is_clean_against_the_committed_baseline(self):
+        findings, errors = analyze_paths([str(SRC)])
+        assert errors == []
+        kept, _ = apply_baseline(findings, load_baseline(BASELINE))
+        assert kept == [], "\n".join(f.render() for f in kept)
+
+    def test_readme_documents_every_registered_rule(self):
+        """Docs drift gate: each rule id must appear in the README."""
+        text = README.read_text(encoding="utf-8")
+        for cls in ALL_CHECKERS:
+            assert f"`{cls.rule}`" in text, (
+                f"rule {cls.rule!r} is registered but undocumented in README"
+            )
