@@ -9,12 +9,14 @@
 # to end and `make serve-net-smoke` the TCP front end (server + client over
 # a real socket); `make chaos-smoke` kills a snapshotting server with
 # SIGKILL mid-run and asserts the restart serves identical plans; `make
-# tier1` is the full suite the CI driver runs.
+# serve-obs-smoke` runs a traced server with the HTTP observability sidecar
+# and asserts /metrics, /healthz, /readyz, /stats and /traces via the
+# obs-check subcommand; `make tier1` is the full suite the CI driver runs.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint lint-concurrency serve-smoke serve-net-smoke chaos-smoke tier1 all
+.PHONY: test bench bench-quick lint lint-concurrency serve-smoke serve-net-smoke chaos-smoke serve-obs-smoke tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
@@ -115,6 +117,33 @@ chaos-smoke:
 	status=$$?; \
 	kill -TERM $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
 	rm -f .chaos-smoke.port .chaos-smoke.snap; \
+	exit $$status
+
+# Observability smoke test: start a traced TCP server with the HTTP sidecar
+# (both on OS-assigned ports), drive the JSONL workload through the socket
+# client, then run `obs-check` against the sidecar — it exits non-zero
+# unless /healthz and /readyz answer, /stats carries every stats field, and
+# /metrics exposes every gauge plus the per-stage latency histograms.
+serve-obs-smoke:
+	@rm -f .serve-obs-smoke.port .serve-obs-smoke.http; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 0 \
+		--port-file .serve-obs-smoke.port --shards 2 --workers 2 \
+		--trace --http-port 0 --http-port-file .serve-obs-smoke.http & \
+	server_pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .serve-obs-smoke.port ] && [ -s .serve-obs-smoke.http ] && break; sleep 0.1; \
+	done; \
+	{ [ -s .serve-obs-smoke.port ] && [ -s .serve-obs-smoke.http ]; } \
+		|| { echo "server never bound"; kill $$server_pid; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli client \
+		--port $$(cat .serve-obs-smoke.port) \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null --check \
+		|| { echo "client --check failed"; kill -TERM $$server_pid; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli obs-check \
+		--port $$(cat .serve-obs-smoke.http); \
+	status=$$?; \
+	kill -TERM $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
+	rm -f .serve-obs-smoke.port .serve-obs-smoke.http; \
 	exit $$status
 
 # Everything, exactly as the tier-1 verification runs it.

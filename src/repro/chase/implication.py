@@ -31,6 +31,7 @@ from repro.cq.homomorphism import find_homomorphism
 from repro.cq.query import PCQuery
 from repro.lang.ast import Var, substitute
 from repro.chase.chase import ChaseCounters, ChaseResult, chase
+from repro.trace import traced_stage
 
 
 def constraint_signature(dependencies):
@@ -118,6 +119,7 @@ class ChaseCache:
             raise ChaseTimeout("chase deadline expired during a cached equivalence check")
         return result.query
 
+    @traced_stage("chase")
     def chase_result(self, query, deadline=None):
         """Return a :class:`~repro.chase.chase.ChaseResult` for ``query`` (cached).
 

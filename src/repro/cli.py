@@ -32,6 +32,15 @@ through a running server.  With ``--check``, every response is re-verified
 against a fresh single-shot :class:`~repro.chase.optimizer.CBOptimizer` run
 and the process exits non-zero on any plan-set mismatch (the
 ``make serve-smoke`` and ``make serve-net-smoke`` targets).
+
+Observability: ``--trace`` (or ``--trace-log``) threads a span tree through
+every request — responses carry it under ``"trace"``; ``--event-log``
+streams structured JSONL lifecycle events; ``serve --port ... --http-port``
+additionally binds the HTTP sidecar (``/metrics`` in Prometheus text
+format, ``/healthz``, ``/readyz``, ``/stats``, ``/traces``) and
+``obs-check`` scrapes a running sidecar and exits non-zero unless every
+stats gauge and the stage-latency histograms are exposed (the
+``make serve-obs-smoke`` target).
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from repro.service.protocol import (
     decode_request as _decode_request,
     encode_response as _encode_response,
     error_record,
+    obs_check_record,
     overloaded_record,
     plan_digest as _plan_digest,
     serving_record,
@@ -83,6 +93,10 @@ EXPERIMENTS = {
     "crash-recovery": (
         figures.crash_recovery,
         ("timeout", "workers", "shards", "repeats"),
+    ),
+    "stage-breakdown": (
+        figures.stage_breakdown,
+        ("timeout", "shards", "repeats"),
     ),
 }
 
@@ -160,6 +174,31 @@ def build_parser():
                 "(s) — a kill -9 loses at most this much warm state; SIGUSR1 "
                 "triggers one immediately (default: snapshot at drain only)",
             )
+            command.add_argument(
+                "--http-port",
+                type=int,
+                default=None,
+                help="with --port: also bind the HTTP observability sidecar "
+                "(/metrics, /healthz, /readyz, /stats, /traces) on this port "
+                "(0 = OS-assigned); implies --trace",
+            )
+            command.add_argument(
+                "--http-port-file",
+                default=None,
+                help="write the sidecar's bound port to this file once "
+                "listening (for scripts using --http-port 0)",
+            )
+
+    obs_check = subparsers.add_parser(
+        "obs-check",
+        help="scrape a running observability sidecar and verify /metrics "
+        "covers every stats gauge (plus health/readiness/stats/traces)",
+    )
+    obs_check.add_argument("--host", default="127.0.0.1", help="sidecar address")
+    obs_check.add_argument("--port", type=int, required=True, help="sidecar HTTP port")
+    obs_check.add_argument(
+        "--timeout", type=float, default=10.0, help="per-endpoint fetch timeout (s)"
+    )
 
     client = subparsers.add_parser(
         "client", help="pipe a JSONL request file through a running TCP server"
@@ -322,6 +361,32 @@ def _add_service_options(subparser):
         action="store_true",
         help="append a final JSONL line with the service-wide stats",
     )
+    subparser.add_argument(
+        "--trace",
+        action="store_true",
+        help="thread a span tree through every request (stages: "
+        "admission_wait, queue_wait, chase, containment, restrict, "
+        "serialize); responses carry it under 'trace'",
+    )
+    subparser.add_argument(
+        "--trace-log",
+        default=None,
+        help="append every finished span tree to this JSONL file "
+        "(implies --trace)",
+    )
+    subparser.add_argument(
+        "--trace-ring",
+        type=int,
+        default=256,
+        help="finished traces kept in memory for /traces (default: 256)",
+    )
+    subparser.add_argument(
+        "--event-log",
+        default=None,
+        help="append structured JSONL lifecycle events (request "
+        "admitted/rejected/completed, runner crash/restart, snapshot "
+        "save/load/fail) to this file ('-' = stderr)",
+    )
 
 
 def _experiment_kwargs(args, accepted):
@@ -402,14 +467,53 @@ def _open_maybe(path, mode, fallback):
     return open(path, mode, encoding="utf-8"), True
 
 
+def _build_event_log(args):
+    """The ``--event-log`` JSONL stream (``'-'`` = stderr), or ``None``."""
+    from repro.service import EventLog
+
+    spec = getattr(args, "event_log", None)
+    if not spec:
+        return None
+    if spec == "-":
+        return EventLog(stream=sys.stderr)
+    return EventLog(path=spec)
+
+
+def _build_tracer(args):
+    """The request tracer, when any observability flag asks for one."""
+    from repro.service import Tracer
+
+    wanted = (
+        getattr(args, "trace", False)
+        or getattr(args, "trace_log", None)
+        or getattr(args, "http_port", None) is not None
+    )
+    if not wanted:
+        return None
+    return Tracer(
+        ring_size=getattr(args, "trace_ring", 256),
+        trace_log=getattr(args, "trace_log", None),
+    )
+
+
+def _close_observability(service):
+    """Release the trace-log / event-log streams a CLI run opened."""
+    if service.tracer is not None:
+        service.tracer.close()
+    if service.event_log is not None:
+        service.event_log.close()
+
+
 def _build_service(args):
     """Construct the optimizer service from the shared service flags,
     loading the ``--snapshot`` file when one exists (warm restart).
 
     Snapshot recovery never crashes the boot: a corrupt, truncated,
-    wrong-version or otherwise unusable snapshot is reported on stderr and
-    the service cold-starts (the recovery is counted in the stats)."""
-    from repro.service import FaultInjector, OptimizerService
+    wrong-version or otherwise unusable snapshot is reported as a
+    ``snapshot.unusable`` event (on the ``--event-log`` stream when one is
+    configured, else stderr) and the service cold-starts (the recovery is
+    counted in the stats)."""
+    from repro.service import EventLog, FaultInjector, OptimizerService, log_event
 
     fault_injector = None
     if getattr(args, "fault_spec", None):
@@ -426,16 +530,23 @@ def _build_service(args):
         default_timeout=args.timeout,
         overload_retry_after=getattr(args, "overload_retry_after", None),
         fault_injector=fault_injector,
+        tracer=_build_tracer(args),
+        event_log=_build_event_log(args),
     )
     # The exists() guard keeps a first boot (no snapshot yet) from counting
     # as a recovery; every other load failure degrades to a cold start.
     if args.snapshot and os.path.exists(args.snapshot):
         restored, error = service.recover_caches(args.snapshot)
-        if error is not None:
-            print(
-                f"warning: snapshot {args.snapshot!r} unusable "
-                f"({error}); starting cold",
-                file=sys.stderr,
+        if error is not None and service.event_log is None:
+            # With --event-log the service itself already emitted
+            # snapshot.recovered; without one the warning still must reach
+            # the operator, as the same structured record on stderr.
+            log_event(
+                EventLog(stream=sys.stderr),
+                "snapshot.unusable",
+                path=args.snapshot,
+                error=str(error),
+                action="starting cold",
             )
     return service
 
@@ -560,6 +671,7 @@ def _run_service_stream(args, out, streaming):
         _save_snapshot(service, args)
     finally:
         service.shutdown()
+        _close_observability(service)
         if close_in:
             in_stream.close()
         if close_out:
@@ -601,23 +713,35 @@ def _run_socket_server(args, out):
             pass
     manager = None
     if args.snapshot:
-        from repro.service import SnapshotManager
+        from repro.service import EventLog, SnapshotManager
 
+        # Snapshot failures go to the structured event log (snapshot.failed
+        # events) — to the --event-log stream when one is configured, else
+        # as the same JSONL records on stderr (replacing the old ad-hoc
+        # "warning: snapshot failed" print).
         manager = SnapshotManager(
             service,
             args.snapshot,
             interval=args.snapshot_interval,
-            on_error=lambda error: print(
-                f"warning: snapshot failed: {error}", file=sys.stderr
-            ),
+            event_log=service.event_log or EventLog(stream=sys.stderr),
         )
         manager.install_signal_handler()  # SIGUSR1 -> snapshot now
         manager.start()  # periodic loop (no-op without --snapshot-interval)
+    observability = None
+    if args.http_port is not None:
+        from repro.service import ObservabilityServer
+
+        observability = ObservabilityServer(
+            service, tracer=service.tracer, host=args.host, port=args.http_port
+        )
     server = OptimizerServer(service, host=args.host, port=args.port)
     try:
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(str(server.port))
+        if observability is not None and args.http_port_file:
+            with open(args.http_port_file, "w", encoding="utf-8") as handle:
+                handle.write(str(observability.port))
         print(
             json.dumps(serving_record(server.address[0], server.port)),
             file=out,
@@ -635,10 +759,13 @@ def _run_socket_server(args, out):
             )
     finally:
         server.stop(drain=False)  # idempotent; covers the exception path
+        if observability is not None:
+            observability.stop()
         if manager is not None:
             manager.stop(final_save=False)  # idempotent; exception path
             manager.restore_signal_handler()
         service.shutdown()
+        _close_observability(service)
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     return 0
@@ -731,6 +858,66 @@ def _run_client(args, out):
     return 1 if failures else 0
 
 
+def _run_obs_check(args, out):
+    """Scrape a running observability sidecar and verify its coverage.
+
+    The check is exhaustive by construction: the expected gauge families
+    come from the *live* ``ServiceStats().as_dict()`` mapping, so a field
+    added to the stats surface fails the check until ``/metrics`` carries
+    it.  Exit code 0 iff every endpoint answers and every family is there.
+    """
+    import urllib.error
+    import urllib.request
+
+    from repro.service.metrics import ServiceStats
+    from repro.service.observability.httpd import PROMETHEUS_CONTENT_TYPE
+
+    base = f"http://{args.host}:{args.port}"
+    problems = []
+
+    def fetch(path):
+        with urllib.request.urlopen(base + path, timeout=args.timeout) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+
+    try:
+        status, _, body = fetch("/healthz")
+        if status != 200 or body.strip() != "ok":
+            problems.append(f"/healthz: status {status}, body {body!r}")
+        status, _, body = fetch("/readyz")
+        ready = json.loads(body)
+        if status != 200 or not ready.get("ready"):
+            problems.append(f"/readyz: status {status}, body {body!r}")
+        expected = ServiceStats().as_dict()
+        status, _, body = fetch("/stats")
+        stats = json.loads(body)
+        missing = sorted(set(expected) - set(stats))
+        if status != 200 or missing:
+            problems.append(f"/stats: status {status}, missing fields {missing}")
+        status, content_type, body = fetch("/metrics")
+        if status != 200:
+            problems.append(f"/metrics: status {status}")
+        if content_type != PROMETHEUS_CONTENT_TYPE:
+            problems.append(f"/metrics: content type {content_type!r}")
+        for key in expected:
+            if f"repro_{key} " not in body:
+                problems.append(f"/metrics: gauge repro_{key} missing")
+        if "repro_stage_latency_seconds_bucket" not in body:
+            problems.append("/metrics: stage latency histograms missing")
+        status, _, body = fetch("/traces")
+        if status != 200 or not json.loads(body).get("traces"):
+            problems.append(f"/traces: status {status}, body {body[:120]!r}")
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        problems.append(f"scrape failed: {error}")
+    for problem in problems:
+        print(f"obs-check: {problem}", file=sys.stderr)
+    print(json.dumps(obs_check_record(problems)), file=out)
+    return 1 if problems else 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -743,6 +930,8 @@ def main(argv=None, out=None):
         return _run_optimize(args, out)
     if args.command == "client":
         return _run_client(args, out)
+    if args.command == "obs-check":
+        return _run_obs_check(args, out)
     if args.command == "serve" and args.port is not None:
         return _run_socket_server(args, out)
     if args.command in ("batch", "serve"):

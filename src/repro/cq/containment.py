@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.lang.ast import substitute
 from repro.cq.homomorphism import find_homomorphisms
+from repro.trace import traced_stage
 
 
 def outputs_match(source, target, mapping, target_closure=None):
@@ -51,6 +52,7 @@ def find_containment_mapping(source, target):
     return None
 
 
+@traced_stage("containment")
 def has_containment_mapping(source, target, stats=None):
     """Return ``True`` when a containment mapping ``source`` → ``target`` exists.
 

@@ -26,6 +26,7 @@ import threading
 from collections import OrderedDict
 
 from repro.cq.containment import has_containment_mapping
+from repro.trace import traced_stage
 
 
 class ContainmentMemo:
@@ -75,6 +76,7 @@ class ContainmentMemo:
         """The canonical pair signature a verdict is memoised under."""
         return (source.signature(), target.signature())
 
+    @traced_stage("containment")
     def check(self, source, target, stats=None):
         """Return whether a containment mapping ``source`` → ``target`` exists.
 

@@ -28,6 +28,7 @@ from repro.lang.ast import (
     substitute,
 )
 from repro.cq.congruence import CongruenceClosure
+from repro.trace import traced_stage
 
 
 @dataclass(frozen=True)
@@ -267,6 +268,7 @@ class PCQuery:
     # ------------------------------------------------------------------ #
     # restriction (subqueries and fragments)
     # ------------------------------------------------------------------ #
+    @traced_stage("restrict")
     def restrict_to(self, keep_vars, extra_output=()):
         """Return the subquery induced by the bindings in ``keep_vars``.
 

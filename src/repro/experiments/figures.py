@@ -25,6 +25,7 @@ from repro.experiments.harness import (
     measure_execution,
     measure_parallel_scaling,
     measure_service_throughput,
+    measure_stage_breakdown,
     measure_strategy,
     measure_warm_restart,
 )
@@ -422,6 +423,47 @@ def service_throughput(
 
 
 # ---------------------------------------------------------------------- #
+# Stage breakdown (post-paper: the PR 9 observability experiment)
+# ---------------------------------------------------------------------- #
+def stage_breakdown(repeats=4, shards=1, timeout=DEFAULT_TIMEOUT):
+    """Where traced requests spend their time, stage by stage.
+
+    Runs ``repeats`` rounds of the mixed EC1/EC2/EC3 request mix through a
+    traced :class:`~repro.service.OptimizerService` on the serial executor
+    and aggregates every span tree: per stage, the total billed wall
+    seconds, the span count and the share of the accounted time.  The
+    ``bounded`` note asserts the tracing invariant — per request,
+    ``sum(stages) <= duration``.
+    """
+    measurement = measure_stage_breakdown(repeats=repeats, shards=shards, timeout=timeout)
+    result = ExperimentResult(
+        f"Request stage breakdown [{measurement.request_count} requests, "
+        f"{measurement.distinct_configs} configs, {measurement.shards} shard(s), serial]",
+        ["stage", "total (s)", "spans", "share of accounted"],
+        notes=(
+            f"{measurement.traced}/{measurement.request_count} traced; "
+            f"stages account for {measurement.accounted_fraction:.1%} of "
+            f"{measurement.total_duration:.3f}s total; "
+            f"bounded (sum <= duration per request): {measurement.bounded}"
+        ),
+    )
+    accounted = measurement.accounted_seconds or 1.0
+    for stage, seconds in sorted(
+        measurement.stage_seconds.items(), key=lambda item: -item[1]
+    ):
+        result.rows.append(
+            (
+                stage,
+                round(seconds, 4),
+                measurement.stage_counts[stage],
+                round(seconds / accounted, 3),
+            )
+        )
+    result.measurement = measurement
+    return result
+
+
+# ---------------------------------------------------------------------- #
 # Warm restart (post-paper: the PR 5 cache-persistence experiment)
 # ---------------------------------------------------------------------- #
 def warm_restart(
@@ -691,5 +733,6 @@ __all__ = [
     "parallel_backchase_scaling",
     "plans_table_ec2",
     "service_throughput",
+    "stage_breakdown",
     "warm_restart",
 ]

@@ -294,6 +294,93 @@ def measure_service_throughput(
 
 
 @dataclass
+class StageBreakdownMeasurement:
+    """Per-stage latency breakdown of traced service requests (PR 9).
+
+    Every request runs through a traced
+    :class:`~repro.service.OptimizerService` on the **serial** executor, so
+    each span tree's stage seconds are disjoint wall-clock slices of its
+    request: ``sum(stages) <= duration`` holds per trace, and
+    ``accounted_fraction`` (billed seconds / total traced wall seconds) says
+    how much of the pipeline the six stages explain — the remainder is
+    framework overhead (routing, future plumbing, metrics).
+    """
+
+    request_count: int
+    distinct_configs: int
+    shards: int
+    traced: int
+    stage_seconds: dict
+    stage_counts: dict
+    total_duration: float
+    accounted_seconds: float
+    accounted_fraction: float
+    bounded: bool
+    errors: int = 0
+
+
+def measure_stage_breakdown(mix=None, repeats=4, shards=1, timeout=None):
+    """Trace ``repeats`` rounds of the mixed workload and aggregate stages.
+
+    Serial executor on purpose (see
+    :class:`StageBreakdownMeasurement`): with pooled executors a stage's
+    workers run concurrently and the trace accumulates CPU-seconds, which
+    can exceed the request's wall clock — fine for attribution, wrong for a
+    breakdown that should sum to (at most) the latency.
+    """
+    from repro.service import OptimizerService, Tracer
+
+    mix = mix if mix is not None else default_service_mix()
+    requests = [config for _ in range(repeats) for config in mix]
+    tracer = Tracer(ring_size=len(requests))
+    stage_seconds = {}
+    stage_counts = {}
+    total_duration = 0.0
+    traced = 0
+    bounded = True
+    with OptimizerService(
+        shards=shards, executor="serial", default_timeout=timeout, tracer=tracer
+    ) as service:
+        futures = [
+            service.submit(workload.query, strategy=strategy, catalog=workload.catalog)
+            for workload, strategy in requests
+        ]
+        responses = [future.result() for future in futures]
+        stats = service.stats()
+    for response in responses:
+        if response.trace is None:
+            continue
+        traced += 1
+        record = response.trace.as_dict()
+        total_duration += record["duration_s"]
+        billed = 0.0
+        for span in record["stages"]:
+            stage_seconds[span["stage"]] = (
+                stage_seconds.get(span["stage"], 0.0) + span["seconds"]
+            )
+            stage_counts[span["stage"]] = (
+                stage_counts.get(span["stage"], 0) + span["count"]
+            )
+            billed += span["seconds"]
+        if billed > record["duration_s"]:
+            bounded = False
+    accounted = sum(stage_seconds.values())
+    return StageBreakdownMeasurement(
+        request_count=len(requests),
+        distinct_configs=len(mix),
+        shards=len(stats.shards),
+        traced=traced,
+        stage_seconds=stage_seconds,
+        stage_counts=stage_counts,
+        total_duration=total_duration,
+        accounted_seconds=accounted,
+        accounted_fraction=accounted / total_duration if total_duration > 0 else 0.0,
+        bounded=bounded,
+        errors=stats.errors,
+    )
+
+
+@dataclass
 class WarmRestartMeasurement:
     """Cache-persistence experiment: a restarted service vs. a cold start.
 
@@ -741,6 +828,7 @@ __all__ = [
     "ExecutionMeasurement",
     "ParallelBackchaseMeasurement",
     "ServiceThroughputMeasurement",
+    "StageBreakdownMeasurement",
     "StrategyMeasurement",
     "WarmRestartMeasurement",
     "default_service_mix",
@@ -749,6 +837,7 @@ __all__ = [
     "measure_execution",
     "measure_parallel_scaling",
     "measure_service_throughput",
+    "measure_stage_breakdown",
     "measure_strategy",
     "measure_warm_restart",
 ]

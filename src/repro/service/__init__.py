@@ -34,6 +34,13 @@ Modules
 ``faults``
     Deterministic, seedable fault injection threaded through the server,
     shards and snapshot IO — the chaos suite's backbone.
+``observability``
+    First-class observability: per-request span trees threaded through
+    the whole pipeline (:class:`~repro.service.observability.Tracer`),
+    the Prometheus/health HTTP sidecar
+    (:class:`~repro.service.observability.ObservabilityServer`) and the
+    structured JSONL event log
+    (:class:`~repro.service.observability.EventLog`).
 """
 
 from repro.errors import (
@@ -47,7 +54,20 @@ from repro.errors import (
 )
 from repro.service.client import OptimizerClient
 from repro.service.faults import FaultInjector
-from repro.service.metrics import RequestMetrics, ServiceStats, ShardStats, percentile
+from repro.service.metrics import (
+    RequestMetrics,
+    ServiceStats,
+    ShardStats,
+    StageHistograms,
+    percentile,
+)
+from repro.service.observability import (
+    EventLog,
+    ObservabilityServer,
+    Tracer,
+    log_event,
+    render_metrics,
+)
 from repro.service.scheduler import SERVICE_EXECUTORS, ScheduledPool, WaveScheduler
 from repro.service.server import OptimizerServer
 from repro.service.service import OptimizerService, ServiceRequest, ServiceResponse
@@ -56,9 +76,11 @@ from repro.service.snapshots import SnapshotManager, read_snapshot, write_snapsh
 
 __all__ = [
     "ConnectionLost",
+    "EventLog",
     "FaultInjector",
     "InjectedCrash",
     "InjectedFault",
+    "ObservabilityServer",
     "OptimizerClient",
     "OptimizerServer",
     "OptimizerService",
@@ -76,9 +98,13 @@ __all__ = [
     "ShardStats",
     "SnapshotError",
     "SnapshotManager",
+    "StageHistograms",
+    "Tracer",
     "WaveScheduler",
+    "log_event",
     "percentile",
     "read_snapshot",
+    "render_metrics",
     "shard_index",
     "write_snapshot",
 ]

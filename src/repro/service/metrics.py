@@ -121,6 +121,7 @@ class ServiceStats:
     recoveries: int = 0
     stale_sessions: int = 0
     snapshots_loaded: int = 0
+    sessions_restored: int = 0
     latencies: list = field(default_factory=list, repr=False)
 
     @property
@@ -189,6 +190,10 @@ class ServiceStats:
     def p95_latency(self):
         return percentile(self.latencies, 0.95)
 
+    @property
+    def p99_latency(self):
+        return percentile(self.latencies, 0.99)
+
     def as_dict(self):
         """JSON-friendly summary (the CLI's ``serve``/``batch`` print this)."""
         return {
@@ -205,6 +210,7 @@ class ServiceStats:
             "recoveries": self.recoveries,
             "stale_sessions": self.stale_sessions,
             "snapshots_loaded": self.snapshots_loaded,
+            "sessions_restored": self.sessions_restored,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
@@ -217,6 +223,7 @@ class ServiceStats:
             "cross_request_waves": self.cross_request_waves,
             "p50_latency_s": round(self.p50_latency, 6),
             "p95_latency_s": round(self.p95_latency, 6),
+            "p99_latency_s": round(self.p99_latency, 6),
         }
 
 
@@ -238,6 +245,7 @@ class MetricsCollector:  # repro-lint: ignore[pickle-safety] never pickled — s
         self._recoveries = 0  # guarded-by: _lock
         self._stale_sessions = 0  # guarded-by: _lock
         self._snapshots_loaded = 0  # guarded-by: _lock
+        self._sessions_restored = 0  # guarded-by: _lock
 
     def record(self, metrics):
         with self._lock:
@@ -262,9 +270,10 @@ class MetricsCollector:  # repro-lint: ignore[pickle-safety] never pickled — s
             self._stale_sessions += count
 
     def record_snapshot_load(self, sessions):
-        """Count one successful snapshot load (``sessions`` restored)."""
+        """Count one successful snapshot load and the ``sessions`` it restored."""
         with self._lock:
             self._snapshots_loaded += 1
+            self._sessions_restored += sessions
 
     def snapshot(self):
         """Return ``(requests, errors, rejected, recent latencies)`` as copies."""
@@ -272,15 +281,90 @@ class MetricsCollector:  # repro-lint: ignore[pickle-safety] never pickled — s
             return self._requests, self._errors, self._rejected, list(self._latencies)
 
     def recovery_snapshot(self):
-        """Return ``(recoveries, stale_sessions, snapshots_loaded)``."""
+        """Return ``(recoveries, stale_sessions, snapshots_loaded, sessions_restored)``."""
         with self._lock:
-            return self._recoveries, self._stale_sessions, self._snapshots_loaded
+            return (
+                self._recoveries,
+                self._stale_sessions,
+                self._snapshots_loaded,
+                self._sessions_restored,
+            )
+
+
+#: Default latency buckets (seconds) for the per-stage histograms: spaced
+#: to resolve both cache-hit requests (sub-millisecond stages) and cold
+#: chase fixpoints (seconds).
+STAGE_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class StageHistograms:  # repro-lint: ignore[pickle-safety] never pickled — live Prometheus state, not snapshot payload
+    """Thread-safe per-stage latency histograms (Prometheus semantics).
+
+    One cumulative-bucket histogram per pipeline stage
+    (:data:`repro.trace.STAGES` plus any future instrumentation), fed live
+    by :class:`~repro.trace.RequestTrace` observers at record time.  Each
+    series keeps per-bucket counts, a running sum and a total count — the
+    exact triple the Prometheus text format's ``_bucket``/``_sum``/
+    ``_count`` lines need.
+    """
+
+    def __init__(self, buckets=STAGE_LATENCY_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._series = {}  # guarded-by: _lock  stage -> [bucket counts + inf, sum, count]
+
+    def observe_stage(self, stage, seconds):
+        """Record one observation of ``seconds`` spent in ``stage``."""
+        with self._lock:
+            series = self._series.setdefault(
+                stage, [[0] * (len(self.buckets) + 1), 0.0, 0]
+            )
+            counts, _, _ = series
+            for index, bound in enumerate(self.buckets):
+                if seconds <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[len(self.buckets)] += 1
+            series[1] += seconds
+            series[2] += 1
+
+    def snapshot(self):
+        """``{stage: {"buckets": [(le, cumulative), ...], "sum", "count"}}``.
+
+        Bucket counts come back *cumulative* (Prometheus ``le`` semantics),
+        with a final ``("+Inf", count)`` entry.
+        """
+        with self._lock:
+            series = {
+                stage: (list(counts), total, count)
+                for stage, (counts, total, count) in self._series.items()
+            }
+        snapshot = {}
+        for stage, (counts, total, count) in sorted(series.items()):
+            cumulative = []
+            running = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                running += bucket_count
+                cumulative.append((bound, running))
+            cumulative.append(("+Inf", count))
+            snapshot[stage] = {
+                "buckets": cumulative,
+                "sum": total,
+                "count": count,
+            }
+        return snapshot
 
 
 __all__ = [
     "MetricsCollector",
     "RequestMetrics",
+    "STAGE_LATENCY_BUCKETS",
     "ServiceStats",
     "ShardStats",
+    "StageHistograms",
     "percentile",
 ]

@@ -82,8 +82,18 @@ def plan_digest(plans):
 
 
 def encode_response(request_id, workload, strategy, response, checked=None):
-    """Serialize one service response as a JSONL record."""
+    """Serialize one service response as a JSONL record.
+
+    Traced responses (the service ran with a tracer) come back with their
+    span tree under ``trace`` and reuse the ``plan_digests`` the resolver
+    already computed inside the trace's serialize span — the digests are
+    identical either way (same :func:`plan_digest` over the same plans),
+    so differential checks are unaffected.
+    """
     record = {"id": request_id, "workload": workload.name, "strategy": strategy}
+    trace = getattr(response, "trace", None)
+    if trace is not None:
+        record["trace"] = trace.as_dict()
     if not response.ok:
         record["status"] = "error"
         record["error"] = response.error
@@ -92,10 +102,11 @@ def encode_response(request_id, workload, strategy, response, checked=None):
             record["error_type"] = error_type
         return record
     result = response.result
+    digests = getattr(response, "plan_digests", None)
     record.update(
         status="ok",
         plan_count=result.plan_count,
-        plan_digests=plan_digest(result.plans),
+        plan_digests=digests if digests is not None else plan_digest(result.plans),
         total_time_s=round(result.total_time, 6),
         timed_out=result.timed_out,
         shard=response.metrics.shard,
@@ -145,6 +156,14 @@ def serving_record(host, port):
     return {"serving": {"host": host, "port": port}}
 
 
+def obs_check_record(problems):
+    """The ``obs-check`` subcommand's verdict line (empty problems = pass)."""
+    return {
+        "obs_check": "failed" if problems else "ok",
+        "problems": list(problems),
+    }
+
+
 def error_record(request_id, error):
     """The typed record for a request that could not be decoded or executed."""
     record = {"id": request_id, "status": "error", "error": str(error)}
@@ -178,6 +197,7 @@ __all__ = [
     "decode_request",
     "encode_response",
     "error_record",
+    "obs_check_record",
     "overloaded_record",
     "ping_request",
     "plan_digest",

@@ -33,6 +33,7 @@ from repro.chase.backchase import (
     resolve_worker_count,
     size_ordered_chunks,
 )
+from repro.trace import activate, active_trace
 
 #: Executor kinds a :class:`WaveScheduler` can run on.  Process pools are
 #: deliberately absent: the service's whole point is *shared* warm caches,
@@ -42,11 +43,20 @@ SERVICE_EXECUTORS = ("serial", "threads")
 
 @dataclass
 class _WorkItem:
-    """One schedulable unit with the future its outcome resolves."""
+    """One schedulable unit with the future its outcome resolves.
+
+    ``trace`` carries the submitting request's
+    :class:`~repro.trace.RequestTrace` so the worker that runs the item —
+    the dispatcher inline (serial) or a pool thread — re-activates it and
+    engine stage times land on the right request.  Work items never cross
+    a pickle boundary (service executors are serial/threads only), so the
+    live trace object riding here is safe.
+    """
 
     request_id: object
     fn: object
     payload: object
+    trace: object = None
     future: Future = field(default_factory=Future)
 
 
@@ -109,17 +119,17 @@ class WaveScheduler:  # repro-lint: ignore[pickle-safety] never pickled — owns
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
-    def submit(self, request_id, fn, payload):
+    def submit(self, request_id, fn, payload, trace=None):
         """Enqueue ``fn(payload)`` for the next wave; returns its Future."""
         if self._closed.is_set():
             raise RuntimeError("WaveScheduler is shut down")
-        item = _WorkItem(request_id, fn, payload)
+        item = _WorkItem(request_id, fn, payload, trace=trace)
         self._queue.put(item)
         return item.future
 
-    def submit_many(self, request_id, fn, payloads):
+    def submit_many(self, request_id, fn, payloads, trace=None):
         """Enqueue several payloads at once (they tend to share one wave)."""
-        return [self.submit(request_id, fn, payload) for payload in payloads]
+        return [self.submit(request_id, fn, payload, trace=trace) for payload in payloads]
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -169,7 +179,12 @@ class WaveScheduler:  # repro-lint: ignore[pickle-safety] never pickled — owns
         if not item.future.set_running_or_notify_cancel():
             return
         try:
-            item.future.set_result(item.fn(item.payload))
+            # Re-activate the submitting request's trace on this worker:
+            # a wave mixes items from several requests, so the ambient
+            # trace swaps per item (activate(None) is a no-op).
+            with activate(item.trace):
+                outcome = item.fn(item.payload)
+            item.future.set_result(outcome)
         except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
             item.future.set_exception(exc)
 
@@ -240,6 +255,7 @@ class ScheduledPool:
             self.request_id,
             _evaluate_scheduled_chunk,
             [(self._context, chunk, deadline, self._cache, self._memo) for chunk in chunks],
+            trace=active_trace(),
         )
         outcomes = [future.result() for future in futures]
         for outcome in outcomes:
@@ -265,7 +281,9 @@ class ScheduledPool:
             else payload
             for payload in payloads
         ]
-        futures = self.scheduler.submit_many(self.request_id, fn, stamped)
+        futures = self.scheduler.submit_many(
+            self.request_id, fn, stamped, trace=active_trace()
+        )
         return [future.result() for future in futures]
 
     def close(self):

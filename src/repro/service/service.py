@@ -38,13 +38,17 @@ Usage::
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceOverloaded
 from repro.chase.optimizer import STRATEGIES
 from repro.service.metrics import MetricsCollector, ServiceStats
+from repro.service.observability.events import log_event
+from repro.service.protocol import plan_digest
 from repro.service.shard import Shard, shard_index
 
 
@@ -88,6 +92,13 @@ class ServiceResponse:
     ``error_type`` carries the failure's exception class name (e.g.
     ``"RunnerCrash"``, ``"ChaseTimeout"``) so callers and the JSONL
     protocol can distinguish failure modes without parsing messages.
+
+    When the service runs with a tracer, ``trace`` is the request's
+    finished :class:`~repro.trace.RequestTrace` span tree (admission wait,
+    queue wait, chase, containment, restrict, serialize — with cache/memo
+    attribution) and ``plan_digests`` the protocol plan-set signature,
+    computed inside the trace's ``serialize`` span so the JSONL encoder
+    reuses it instead of re-hashing.
     """
 
     request_id: object
@@ -95,6 +106,8 @@ class ServiceResponse:
     metrics: object = None
     error: str | None = None
     error_type: str | None = None
+    trace: object = None
+    plan_digests: list | None = None
 
     @property
     def ok(self):
@@ -112,6 +125,7 @@ class _PendingRequest:  # repro-lint: ignore[pickle-safety] never pickled — li
     """Book-keeping pairing an admitted request with its future."""
 
     request: ServiceRequest
+    trace: object = None
     future: Future = field(default_factory=Future)
     _claim: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -164,6 +178,18 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
     fault_injector:
         Optional :class:`~repro.service.faults.FaultInjector` threaded
         through shard execution and snapshot IO (chaos testing).
+    tracer:
+        Optional :class:`~repro.service.observability.tracing.Tracer`.
+        When set, every admitted request carries a
+        :class:`~repro.trace.RequestTrace` through shard queueing, wave
+        scheduling and the engine's chase/containment/restrict stages, and
+        every :class:`ServiceResponse` comes back with the finished span
+        tree on ``response.trace``.
+    event_log:
+        Optional :class:`~repro.service.observability.events.EventLog`;
+        the service emits ``request.admitted`` / ``request.rejected`` /
+        ``request.completed`` events (shards add runner crash/restart,
+        snapshot loads add ``snapshot.loaded`` / ``snapshot.recovered``).
     """
 
     def __init__(
@@ -181,11 +207,15 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         default_timeout=None,
         overload_retry_after=None,
         fault_injector=None,
+        tracer=None,
+        event_log=None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards!r}")
         self.default_timeout = default_timeout
         self.fault_injector = fault_injector
+        self.tracer = tracer
+        self.event_log = event_log
         self._shards = [
             Shard(
                 shard_id,
@@ -200,6 +230,7 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
                 max_sessions=max_sessions,
                 overload_retry_after=overload_retry_after,
                 fault_injector=fault_injector,
+                event_log=event_log,
             )
             for shard_id in range(shards)
         ]
@@ -230,6 +261,7 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         (no future exists — nothing was admitted), so callers can shed or
         retry immediately.
         """
+        admitted_at = time.perf_counter()
         request = ServiceRequest(
             query=query,
             strategy=strategy,
@@ -242,13 +274,40 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         with self._lock:
             if self._closed:
                 raise RuntimeError("OptimizerService is shut down")
-            shard = self._shards[shard_index(request.resolved_constraints(), len(self._shards))]
-        pending = _PendingRequest(request)
+            index = shard_index(request.resolved_constraints(), len(self._shards))
+            shard = self._shards[index]
+        trace = (
+            self.tracer.start_trace(request.request_id)
+            if self.tracer is not None
+            else None
+        )
+        pending = _PendingRequest(request, trace=trace)
         try:
-            shard.submit(request, self._make_resolver(pending))
+            shard.submit(request, self._make_resolver(pending), trace=trace)
         except ServiceOverloaded:
             self._metrics.record_rejection()
+            if trace is not None:
+                self.tracer.export(trace.finish("rejected"))
+            log_event(
+                self.event_log,
+                "request.rejected",
+                request_id=request.request_id,
+                shard=index,
+                strategy=request.strategy,
+            )
             raise
+        if trace is not None:
+            # Admission wait: validation, routing and the admission-control
+            # gate — everything between entering submit and the request
+            # landing on a runner queue.
+            trace.record("admission_wait", time.perf_counter() - admitted_at)
+        log_event(
+            self.event_log,
+            "request.admitted",
+            request_id=request.request_id,
+            shard=index,
+            strategy=request.strategy,
+        )
         return pending.future
 
     def submit_many(self, requests):
@@ -269,7 +328,31 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
             # future.result() already sees itself in the service totals.
             if not pending.claim():
                 return
+            trace = pending.trace
+            plan_digests = None
+            if trace is not None:
+                if result is not None:
+                    # The serialize span: the protocol's plan-set signature
+                    # is computed here, inside the trace's root duration,
+                    # and reused by encode_response — so the stage sum
+                    # stays bounded by the measured request latency.
+                    serialize_started = time.perf_counter()
+                    plan_digests = plan_digest(result.plans)
+                    trace.record(
+                        "serialize", time.perf_counter() - serialize_started
+                    )
+                trace.finish("ok" if exc is None else "error")
             self._metrics.record(metrics)
+            if trace is not None and self.tracer is not None:
+                self.tracer.export(trace)
+            log_event(
+                self.event_log,
+                "request.completed",
+                request_id=request.request_id,
+                shard=metrics.shard,
+                status="ok" if exc is None else "error",
+                latency_s=round(metrics.latency, 6),
+            )
             pending.future.set_result(
                 ServiceResponse(
                     request_id=request.request_id,
@@ -277,6 +360,8 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
                     metrics=metrics,
                     error=None if exc is None else str(exc),
                     error_type=None if exc is None else type(exc).__name__,
+                    trace=trace,
+                    plan_digests=plan_digests,
                 )
             )
 
@@ -297,7 +382,9 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
     def stats(self):
         """Service-wide snapshot: shards, caches, memos, queues, latencies."""
         requests, errors, rejected, latencies = self._metrics.snapshot()
-        recoveries, stale_sessions, snapshots_loaded = self._metrics.recovery_snapshot()
+        recoveries, stale_sessions, snapshots_loaded, sessions_restored = (
+            self._metrics.recovery_snapshot()
+        )
         return ServiceStats(
             shards=[shard.stats() for shard in self._shards],
             requests=requests,
@@ -306,8 +393,29 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
             recoveries=recoveries,
             stale_sessions=stale_sessions,
             snapshots_loaded=snapshots_loaded,
+            sessions_restored=sessions_restored,
             latencies=latencies,
         )
+
+    def readiness(self):
+        """Readiness probe: ``(ready, detail)`` for the ``/readyz`` endpoint.
+
+        Ready means the service still admits requests (not shut down) and
+        every shard's supervised runner pool has at least one live runner —
+        a shard with zero runners would admit requests that nothing ever
+        executes.  Snapshot-loaded readiness is layered on top by the CLI
+        (it knows whether a ``--snapshot`` was requested).
+        """
+        with self._lock:
+            closed = self._closed
+        if closed:
+            return False, {"reason": "service is shut down"}
+        stalled = [
+            shard.shard_id for shard in self._shards if shard.live_runners() == 0
+        ]
+        if stalled:
+            return False, {"reason": "shards without live runners", "shards": stalled}
+        return True, {"shards": len(self._shards)}
 
     # ------------------------------------------------------------------ #
     # cache persistence (warm restarts)
@@ -369,6 +477,13 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         if stale:
             self._metrics.record_stale_sessions(stale)
         self._metrics.record_snapshot_load(restored)
+        log_event(
+            self.event_log,
+            "snapshot.loaded",
+            path=os.fspath(path),
+            sessions_restored=restored,
+            stale_sessions=stale,
+        )
         return restored
 
     def recover_caches(self, path):
@@ -388,6 +503,12 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
             return self.load_caches(path), None
         except SnapshotError as error:
             self._metrics.record_recovery()
+            log_event(
+                self.event_log,
+                "snapshot.recovered",
+                path=os.fspath(path),
+                error=str(error),
+            )
             return 0, error
 
     def shutdown(self, wait=True):

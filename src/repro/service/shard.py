@@ -48,7 +48,9 @@ from repro.chase.optimizer import CBOptimizer
 from repro.cq.memo import ContainmentMemo
 from repro.service.faults import maybe_fail
 from repro.service.metrics import RequestMetrics, ShardStats
+from repro.service.observability.events import log_event
 from repro.service.scheduler import ScheduledPool, WaveScheduler
+from repro.trace import activate
 
 #: Queue sentinel that makes a runner thread exit its loop.
 _SHUTDOWN = object()
@@ -88,15 +90,19 @@ class _RunnerTask:
 
     ``slot_released`` makes admission-slot release idempotent: the normal
     completion path and the crash path can both reach it, but exactly one
-    decrements the gauge.
+    decrements the gauge.  ``trace`` is the request's span tree (or
+    ``None``); ``enqueued_at`` stamps admission time so the runner that
+    picks the task up can bill the queue wait.
     """
 
-    __slots__ = ("request", "on_done", "slot_released")
+    __slots__ = ("request", "on_done", "slot_released", "trace", "enqueued_at")
 
-    def __init__(self, request, on_done):
+    def __init__(self, request, on_done, trace=None):
         self.request = request
         self.on_done = on_done
         self.slot_released = False
+        self.trace = trace
+        self.enqueued_at = time.perf_counter()
 
 
 class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots export session state (export_sessions), not shard objects
@@ -148,6 +154,9 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
     fault_injector:
         Optional :class:`~repro.service.faults.FaultInjector`; the shard
         consults the ``shard.execute`` site once per executed request.
+    event_log:
+        Optional :class:`~repro.service.observability.events.EventLog`;
+        the shard emits ``runner.crashed`` / ``runner.restarted`` events.
     supervisor_interval:
         Seconds between supervisor sweeps for silently-dead runners.
     """
@@ -166,6 +175,7 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
         max_sessions=None,
         overload_retry_after=None,
         fault_injector=None,
+        event_log=None,
         supervisor_interval=0.25,
     ):
         if max_sessions is not None and max_sessions < 1:
@@ -187,6 +197,7 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
             max_batch=max_batch,
         )
         self._faults = fault_injector
+        self._event_log = event_log
         self._tasks = queue.SimpleQueue()
         self._sessions = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
@@ -319,8 +330,21 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
             replace = not self._stopping.is_set()
             if replace:
                 self._runner_restarts += 1
+        log_event(
+            self._event_log,
+            "runner.crashed",
+            shard=self.shard_id,
+            request_id=task.request.request_id,
+            error=repr(exc),
+        )
         if replace:
             self._spawn_runner()
+            log_event(
+                self._event_log,
+                "runner.restarted",
+                shard=self.shard_id,
+                reported=True,
+            )
         metrics = RequestMetrics(
             request_id=task.request.request_id,
             shard=self.shard_id,
@@ -347,16 +371,29 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
                     self._runner_restarts += 1
             for _ in dead:
                 self._spawn_runner()
+                log_event(
+                    self._event_log,
+                    "runner.restarted",
+                    shard=self.shard_id,
+                    reported=False,
+                )
+
+    def live_runners(self):
+        """Count of live runner threads (the readiness probe's signal)."""
+        with self._lock:
+            return sum(1 for runner in self._runners if runner.is_alive())
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def submit(self, request, on_done):
+    def submit(self, request, on_done, trace=None):
         """Admit ``request`` onto the runner queue; resolve through ``on_done``.
 
         Raises :class:`~repro.errors.ServiceOverloaded` when the shard's
         queue depth bound is reached — the request is *not* queued and
-        ``on_done`` will never be called for it.
+        ``on_done`` will never be called for it.  ``trace`` (when given)
+        rides the task through the queue so the runner bills the queue
+        wait and activates it around the engine run.
         """
         with self._lock:
             if (
@@ -374,7 +411,7 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
             self._requests += 1
             self._queue_depth += 1
             self._queue_peak = max(self._queue_peak, self._queue_depth)
-        task = _RunnerTask(request, on_done)
+        task = _RunnerTask(request, on_done, trace=trace)
         try:
             self._tasks.put(task)
         except BaseException:
@@ -391,6 +428,10 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
     def _execute(self, task):
         request, on_done = task.request, task.on_done
         start = time.perf_counter()
+        if task.trace is not None:
+            # Queue wait: admission (submit stamping enqueued_at) until a
+            # runner thread picked the task up.
+            task.trace.record("queue_wait", start - task.enqueued_at)
         session = None
         try:
             maybe_fail(self._faults, "shard.execute", detail=request.request_id)
@@ -408,7 +449,12 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
                 containment_memo=session.memo,
                 pool=ScheduledPool(self.scheduler, request.request_id),
             )
-            result = optimizer.optimize(request.query, strategy=request.strategy)
+            # The trace is ambient on this runner thread for the whole
+            # engine run: chase/containment/restrict work executed inline
+            # here records directly, and the ScheduledPool re-activates the
+            # same trace on every wave worker for the batched chunks.
+            with activate(task.trace):
+                result = optimizer.optimize(request.query, strategy=request.strategy)
             registry_stats = session.registry.stats()
             memo_after = session.memo.stats()
             metrics = RequestMetrics(
@@ -424,6 +470,19 @@ class Shard:  # repro-lint: ignore[pickle-safety] never pickled — snapshots ex
                 memo_misses=memo_after["misses"] - memo_before["misses"],
                 timed_out=result.timed_out,
             )
+            if task.trace is not None:
+                # Cache/memo attribution on the stage spans: the same
+                # best-effort deltas the per-request metrics report.
+                task.trace.annotate(
+                    "chase",
+                    cache_hits=metrics.cache_hits,
+                    cache_misses=metrics.cache_misses,
+                )
+                task.trace.annotate(
+                    "containment",
+                    memo_hits=metrics.memo_hits,
+                    memo_misses=metrics.memo_misses,
+                )
             outcome = (result, metrics, None)
         except Exception as exc:  # noqa: BLE001 - reported on the response
             metrics = RequestMetrics(

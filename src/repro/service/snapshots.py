@@ -41,6 +41,7 @@ import time
 
 from repro.errors import InjectedFault, SnapshotError
 from repro.service.faults import maybe_fail
+from repro.service.observability.events import log_event
 
 #: Current envelope version.  Version 1 is the PR 5 bare-pickle format
 #: (``{"version": 1, "sessions": [...]}``), still readable (no checksum or
@@ -246,7 +247,9 @@ class SnapshotManager:  # repro-lint: ignore[pickle-safety] never pickled — it
         manager.stop()                        # final snapshot + join
     """
 
-    def __init__(self, service, path, interval=None, faults=None, on_error=None):
+    def __init__(
+        self, service, path, interval=None, faults=None, on_error=None, event_log=None
+    ):
         if interval is not None and interval <= 0:
             raise ValueError(f"snapshot interval must be > 0 or None, got {interval!r}")
         self.service = service
@@ -254,6 +257,7 @@ class SnapshotManager:  # repro-lint: ignore[pickle-safety] never pickled — it
         self.interval = interval
         self.faults = faults
         self.on_error = on_error
+        self.event_log = event_log
         self.snapshots_written = 0  # guarded-by: _lock
         self.snapshot_failures = 0  # guarded-by: _lock
         self.last_error = None  # guarded-by: _lock
@@ -278,11 +282,15 @@ class SnapshotManager:  # repro-lint: ignore[pickle-safety] never pickled — it
             with self._lock:  # one writer at a time (loop + signal + stop)
                 saved = self.service.save_caches(self.path, faults=self.faults)
                 self.snapshots_written += 1
+            log_event(self.event_log, "snapshot.saved", path=self.path, sessions=saved)
             return saved
         except SnapshotError as error:
             with self._lock:
                 self.snapshot_failures += 1
                 self.last_error = str(error)
+            log_event(
+                self.event_log, "snapshot.failed", path=self.path, error=str(error)
+            )
             if self.on_error is not None:
                 self.on_error(error)
             return None
