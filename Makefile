@@ -11,12 +11,15 @@
 # SIGKILL mid-run and asserts the restart serves identical plans; `make
 # serve-obs-smoke` runs a traced server with the HTTP observability sidecar
 # and asserts /metrics, /healthz, /readyz, /stats and /traces via the
-# obs-check subcommand; `make tier1` is the full suite the CI driver runs.
+# obs-check subcommand; `make fleet-smoke` routes the workload through the
+# consistent-hash fleet router in front of two backends, kills one backend
+# with SIGKILL, and asserts the retrying client still passes --check via
+# failover; `make tier1` is the full suite the CI driver runs.
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-quick lint lint-concurrency serve-smoke serve-net-smoke chaos-smoke serve-obs-smoke tier1 all
+.PHONY: test bench bench-quick lint lint-concurrency serve-smoke serve-net-smoke chaos-smoke serve-obs-smoke fleet-smoke tier1 all
 
 # Fast unit tests only (benchmarks are marked `bench` and deselected).
 test:
@@ -144,6 +147,50 @@ serve-obs-smoke:
 	status=$$?; \
 	kill -TERM $$server_pid 2>/dev/null; wait $$server_pid 2>/dev/null; \
 	rm -f .serve-obs-smoke.port .serve-obs-smoke.http; \
+	exit $$status
+
+# Fleet smoke test: two backend servers behind the consistent-hash router
+# (periodic cache/memo sync between them), the retrying client passes
+# --check through the router, then one backend is killed with SIGKILL and a
+# second pass must still verify every plan set — requests whose primary
+# died fail over to the surviving replica (which the sync exchange has been
+# keeping warm) instead of erroring.
+fleet-smoke:
+	@rm -f .fleet-smoke.b1 .fleet-smoke.b2 .fleet-smoke.router; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 0 \
+		--port-file .fleet-smoke.b1 --shards 1 --workers 2 & \
+	b1_pid=$$!; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli serve --port 0 \
+		--port-file .fleet-smoke.b2 --shards 1 --workers 2 & \
+	b2_pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .fleet-smoke.b1 ] && [ -s .fleet-smoke.b2 ] && break; sleep 0.1; \
+	done; \
+	{ [ -s .fleet-smoke.b1 ] && [ -s .fleet-smoke.b2 ]; } \
+		|| { echo "backends never bound"; kill $$b1_pid $$b2_pid 2>/dev/null; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli route --port 0 \
+		--port-file .fleet-smoke.router --sync-interval 0.5 \
+		--backend 127.0.0.1:$$(cat .fleet-smoke.b1) \
+		--backend 127.0.0.1:$$(cat .fleet-smoke.b2) & \
+	router_pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s .fleet-smoke.router ] && break; sleep 0.1; \
+	done; \
+	[ -s .fleet-smoke.router ] \
+		|| { echo "router never bound"; kill $$router_pid $$b1_pid $$b2_pid 2>/dev/null; exit 1; }; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli client \
+		--port $$(cat .fleet-smoke.router) --retries 8 \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null --check \
+		|| { echo "full-fleet pass failed --check"; \
+		     kill -9 $$router_pid $$b1_pid $$b2_pid 2>/dev/null; exit 1; }; \
+	kill -9 $$b1_pid; wait $$b1_pid 2>/dev/null; \
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli client \
+		--port $$(cat .fleet-smoke.router) --retries 8 \
+		--input benchmarks/workloads/serve_smoke.jsonl --output /dev/null --check; \
+	status=$$?; \
+	kill -TERM $$router_pid $$b2_pid 2>/dev/null; \
+	wait $$router_pid $$b2_pid 2>/dev/null; \
+	rm -f .fleet-smoke.b1 .fleet-smoke.b2 .fleet-smoke.router; \
 	exit $$status
 
 # Everything, exactly as the tier-1 verification runs it.

@@ -1,0 +1,168 @@
+"""Fleet benchmark: routed throughput and cross-process cache movement.
+
+Runs the mixed EC1/EC2/EC3 request mix through a consistent-hash
+:class:`~repro.service.fleet.FleetRouter` in front of two real TCP backends,
+then drives one ``sync`` exchange round and probes each catalog on the
+backend that did *not* compute it.  Records into ``BENCH_PR10.json``:
+
+* **fleet vs single-shot** — identical plan-set digests (the differential
+  bar) plus both wall clocks;
+* **cross-process warm-hit rate** — the fraction of catalogs whose first
+  request on the *peer* backend hit chase-cache or containment-memo state
+  it never computed locally (must be > 0 after one exchange round: that is
+  the whole point of the sync op);
+* router gauges (routed / rerouted / shed) and sessions moved by the round.
+
+``BENCH_QUICK=1`` shrinks the routed phase to one round of the mix.
+"""
+
+import os
+import time
+
+from conftest import record_bench
+
+from repro.chase.implication import constraints_digest
+from repro.service import OptimizerClient, OptimizerServer
+from repro.service.fleet import FleetRouter, parse_backend
+from repro.service.protocol import WORKLOAD_BUILDERS, plan_digest
+
+BENCH_FILE = "BENCH_PR10.json"
+
+#: The differential request mix: every workload family, every strategy.
+MIX = [
+    ("ec1", {"relations": 2, "secondary_indexes": 1}, "fb"),
+    ("ec1", {"relations": 3, "secondary_indexes": 0}, "ocs"),
+    ("ec2", {"stars": 1, "corners": 3, "views": 1}, "fb"),
+    ("ec2", {"stars": 1, "corners": 3, "views": 2}, "oqf"),
+    ("ec3", {"classes": 3, "asrs": 0}, "fb"),
+    ("ec3", {"classes": 3, "asrs": 1}, "ocs"),
+]
+
+
+def _records(rounds):
+    records = []
+    for round_index in range(rounds):
+        for index, (name, params, strategy) in enumerate(MIX):
+            records.append(
+                {
+                    "id": f"b{round_index}-{index}",
+                    "workload": name,
+                    "params": dict(params),
+                    "strategy": strategy,
+                }
+            )
+    return records
+
+
+def _run_fleet(rounds):
+    """The measured scenario; returns a dict of counters."""
+    single_start = time.perf_counter()
+    reference = []
+    for name, params, strategy in MIX:
+        builder, _ = WORKLOAD_BUILDERS[name]
+        workload = builder(**params)
+        result = workload.optimizer().optimize(workload.query, strategy=strategy)
+        reference.append(plan_digest(result.plans))
+    single_shot_wall = time.perf_counter() - single_start
+
+    with OptimizerServer(shards=1, workers=2) as server_a:
+        with OptimizerServer(shards=1, workers=2) as server_b:
+            servers = {
+                f"127.0.0.1:{server_a.port}": server_a,
+                f"127.0.0.1:{server_b.port}": server_b,
+            }
+            with FleetRouter(list(servers)) as router:
+                routed_start = time.perf_counter()
+                with OptimizerClient(port=router.port) as client:
+                    responses = client.request_many(_records(rounds), timeout=600)
+                fleet_wall = time.perf_counter() - routed_start
+                assert all(r["status"] == "ok" for r in responses)
+                fleet_digests = [r["plan_digests"] for r in responses]
+                digests_match = fleet_digests == reference * rounds
+
+                # One exchange round over the router's own backend clients.
+                exchanger = router.attach_exchanger()
+                sessions_moved = exchanger.run_once(timeout=600)
+
+                # Probe every catalog on the backend that did NOT serve it:
+                # after the sync round its first contact must already be warm.
+                warm_hits = 0
+                peer_digests_match = True
+                peer_clients = {}
+                try:
+                    for index, (name, params, strategy) in enumerate(MIX):
+                        builder, _ = WORKLOAD_BUILDERS[name]
+                        workload = builder(**params)
+                        digest = constraints_digest(workload.catalog.constraints())
+                        peer = router.ring.preference(digest)[1]
+                        if peer not in peer_clients:
+                            host, port = parse_backend(peer)
+                            peer_clients[peer] = OptimizerClient(host=host, port=port)
+                        response = peer_clients[peer].request(
+                            {
+                                "id": f"p{index}",
+                                "workload": name,
+                                "params": dict(params),
+                                "strategy": strategy,
+                            },
+                            timeout=600,
+                        )
+                        assert response["status"] == "ok"
+                        if response["plan_digests"] != reference[index]:
+                            peer_digests_match = False
+                        if response["cache_hits"] > 0 or response["memo_hits"] > 0:
+                            warm_hits += 1
+                finally:
+                    for peer_client in peer_clients.values():
+                        peer_client.close()
+                stats = router.stats()
+                merged_totals = sum(
+                    server.service.stats().sync_sessions_merged
+                    for server in servers.values()
+                )
+    return {
+        "requests_routed": stats.routed,
+        "rerouted": stats.rerouted,
+        "shed": stats.shed,
+        "errors": stats.errors,
+        "digests_match": digests_match,
+        "peer_digests_match": peer_digests_match,
+        "sync_sessions_moved": sessions_moved,
+        "sync_sessions_merged": merged_totals,
+        "cross_process_warm_hits": warm_hits,
+        "cross_process_warm_hit_rate": round(warm_hits / len(MIX), 4),
+        "single_shot_wall_s": round(single_shot_wall, 4),
+        "fleet_wall_s": round(fleet_wall, 4),
+    }
+
+
+def test_fleet_router_and_sync(benchmark):
+    quick = bool(os.environ.get("BENCH_QUICK"))
+    rounds = 1 if quick else 2
+    start = time.perf_counter()
+    measurement = benchmark.pedantic(
+        _run_fleet, kwargs={"rounds": rounds}, iterations=1, rounds=1
+    )
+    wall_clock = time.perf_counter() - start
+
+    # The differential bar: the fleet is invisible to plan quality.
+    assert measurement["digests_match"]
+    assert measurement["peer_digests_match"]
+    assert measurement["errors"] == 0
+    assert measurement["shed"] == 0
+    assert measurement["requests_routed"] == rounds * len(MIX)
+
+    # The tentpole claim: after one exchange round, peers serve warm state
+    # they never computed — the cross-process warm-hit rate is positive.
+    assert measurement["sync_sessions_moved"] >= 1
+    assert measurement["cross_process_warm_hit_rate"] > 0
+
+    record_bench(
+        "fleet_router_sync",
+        wall_clock=wall_clock,
+        counters=measurement,
+        backends=2,
+        rounds=rounds,
+        requests=rounds * len(MIX),
+        bench_file=BENCH_FILE,
+    )

@@ -22,6 +22,7 @@ valid for the dependency set it was chased with, so sharing is keyed by
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 
@@ -42,6 +43,27 @@ def constraint_signature(dependencies):
     :class:`ChaseCacheRegistry`) keys by this signature.
     """
     return frozenset(dependencies)
+
+
+def constraints_digest(constraints):
+    """Stable *structural* digest of a constraint set.
+
+    Uses each dependency's pretty-printed form (name + quantifier structure),
+    sorted — stable across processes and runs, and it *changes* whenever any
+    constraint's definition changes, which is exactly the staleness signal:
+    chase fixpoints and containment verdicts are only valid under the
+    dependency set they were computed with.
+
+    This is the one constraint-set identity shared by every placement and
+    persistence layer: shard routing (:func:`repro.service.shard.shard_index`),
+    the fleet router's consistent-hash ring, snapshot staleness manifests and
+    the cross-process sync guard all hash this digest.  Hashing anything
+    weaker (the sorted dependency *names*, as the pre-fleet shard router did)
+    aliases constraint sets whose names collide but whose bodies differ —
+    a correctness bug once state is exchanged or re-routed on that identity.
+    """
+    text = "\n".join(sorted(str(dep) for dep in constraints))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class ChaseCache:
@@ -343,6 +365,49 @@ class ChaseCacheRegistry:
             cache.max_entries = max_entries
 
     # ------------------------------------------------------------------ #
+    # delta exchange (cross-process fleet sync)
+    # ------------------------------------------------------------------ #
+    def export_entries(self, markers=None):
+        """Delta-export every cache's entries added since ``markers``.
+
+        ``markers`` maps :func:`constraint_signature` to the marker returned
+        by the previous call (missing/``None`` = everything).  Returns
+        ``(exported, new_markers)`` where ``exported`` maps each signature to
+        the plain ``{query_signature: fixpoint}`` dict of new entries (empty
+        exports are omitted) and ``new_markers`` is what the *next* call
+        should pass.  Markers are taken before the export, so an entry
+        landing between the two reads is shipped twice — harmless, because
+        :meth:`merge_entries` is idempotent.
+        """
+        markers = markers or {}
+        with self._lock:
+            caches = dict(self._caches)
+        exported = {}
+        new_markers = {}
+        for signature, cache in caches.items():
+            new_markers[signature] = cache.snapshot()
+            entries = cache.export_since(markers.get(signature, 0))
+            if entries:
+                exported[signature] = entries
+        return exported, new_markers
+
+    def merge_entries(self, exported):
+        """Fold a peer registry's :meth:`export_entries` payload into this one.
+
+        Creates the per-constraint-set cache on first contact (the receiving
+        process may never have chased under that sub-set locally — OQF/OCS
+        fragment sets differ per strategy mix).  Returns the number of
+        entries offered; duplicates are skipped inside
+        :meth:`ChaseCache.merge_exported`, so replaying an export is safe.
+        """
+        merged = 0
+        for signature, entries in exported.items():
+            cache = self.for_constraints(list(signature))
+            cache.merge_exported(entries)
+            merged += len(entries)
+        return merged
+
+    # ------------------------------------------------------------------ #
     # persistence (the service's warm-restart snapshots)
     # ------------------------------------------------------------------ #
     def save(self, path):
@@ -460,6 +525,7 @@ __all__ = [
     "ChaseCache",
     "ChaseCacheRegistry",
     "constraint_signature",
+    "constraints_digest",
     "contained_under",
     "equivalent_under",
     "implies",

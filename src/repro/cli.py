@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve < requests.jsonl
     python -m repro.cli serve --port 7411 --max-queue-depth 16 --snapshot warm.pkl
     python -m repro.cli client --port 7411 --input requests.jsonl --check
+    python -m repro.cli route --backend 127.0.0.1:7411 --backend 127.0.0.1:7412 \\
+        --port 7410 --sync-interval 5
 
 The ``fig*`` / ``plans-table`` commands print the same rows the corresponding
 figures and tables of the paper report; ``optimize`` runs a single optimizer
@@ -32,6 +34,16 @@ through a running server.  With ``--check``, every response is re-verified
 against a fresh single-shot :class:`~repro.chase.optimizer.CBOptimizer` run
 and the process exits non-zero on any plan-set mismatch (the
 ``make serve-smoke`` and ``make serve-net-smoke`` targets).
+
+``route`` runs the fleet front end (:mod:`repro.service.fleet`): it
+consistent-hashes every request's structural constraint digest across the
+``--backend`` ``serve`` processes, re-routes ``overloaded`` responses to
+the next replica with capacity instead of shedding them, and (with
+``--sync-interval``) periodically relays each backend's chase-cache and
+containment-memo deltas to its peers over the ``sync`` protocol op, so a
+replica serves warm hits it never computed locally.  ``serve`` takes
+``--snapshot-store DIR`` to boot from (and keep feeding) the fleet's
+shared per-session snapshot directory.
 
 Observability: ``--trace`` (or ``--trace-log``) threads a span tree through
 every request — responses carry it under ``"trace"``; ``--event-log``
@@ -200,6 +212,87 @@ def build_parser():
         "--timeout", type=float, default=10.0, help="per-endpoint fetch timeout (s)"
     )
 
+    route = subparsers.add_parser(
+        "route",
+        help="run the fleet router: consistent-hash requests across backend "
+        "servers, re-route overloads, periodically exchange warm caches",
+    )
+    route.add_argument(
+        "--backend",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="a backend `serve --port` process (repeat once per backend)",
+    )
+    route.add_argument("--host", default="127.0.0.1", help="bind address")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (0 = OS-assigned; run until SIGTERM/SIGINT, then drain)",
+    )
+    route.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening "
+        "(for scripts using --port 0)",
+    )
+    route.add_argument(
+        "--sync-interval",
+        type=float,
+        default=None,
+        help="seconds between cache/memo exchange rounds across the backends "
+        "(default: no background exchange)",
+    )
+    route.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        help="backend connect timeout (s) before failing over to the next "
+        "replica on the ring",
+    )
+    route.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request backend round-trip budget (s)",
+    )
+    route.add_argument(
+        "--ring-replicas",
+        type=int,
+        default=64,
+        help="virtual points per backend on the consistent-hash ring",
+    )
+    route.add_argument(
+        "--route-workers",
+        type=int,
+        default=16,
+        help="concurrent routing workers (pipelined lines per connection)",
+    )
+    route.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="also bind the HTTP observability sidecar (/metrics, /healthz, "
+        "/readyz, /stats) for the router gauges (0 = OS-assigned)",
+    )
+    route.add_argument(
+        "--http-port-file",
+        default=None,
+        help="write the sidecar's bound port to this file once listening",
+    )
+    route.add_argument(
+        "--event-log",
+        default=None,
+        help="append structured JSONL routing events (route.reroute, "
+        "route.failover, route.shed, sync.round) to this file ('-' = stderr)",
+    )
+    route.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a final JSONL line with the router's gauges at drain",
+    )
+
     client = subparsers.add_parser(
         "client", help="pipe a JSONL request file through a running TCP server"
     )
@@ -325,6 +418,15 @@ def _add_service_options(subparser):
         help="cache snapshot file: loaded at startup when it exists (an "
         "unusable or stale snapshot degrades to a cold start, never a "
         "crash), saved at shutdown (warm restarts)",
+    )
+    subparser.add_argument(
+        "--snapshot-store",
+        default=None,
+        metavar="DIR",
+        help="shared fleet snapshot directory (one atomic file per "
+        "constraint digest): restored at startup, saved at shutdown — and "
+        "with --snapshot-interval, periodically; any fleet member's saves "
+        "warm every other member's next boot",
     )
     subparser.add_argument(
         "--overload-retry-after",
@@ -548,12 +650,23 @@ def _build_service(args):
                 error=str(error),
                 action="starting cold",
             )
+    if getattr(args, "snapshot_store", None):
+        from repro.service.fleet import SnapshotStore
+
+        # Per-file degradation inside restore(): a stale or unreadable
+        # session file cold-starts that one catalog, never the boot.
+        SnapshotStore(args.snapshot_store).restore(service)
     return service
 
 
 def _save_snapshot(service, args):
     if args.snapshot:
         service.save_caches(args.snapshot)
+    if getattr(args, "snapshot_store", None):
+        from repro.service.fleet import SnapshotStore, StoreSaver
+
+        store = SnapshotStore(args.snapshot_store)
+        StoreSaver(service, store).save_caches(store.root)
 
 
 class _StreamEmitter:  # repro-lint: ignore[pickle-safety] never pickled — wraps a live output stream for one CLI run
@@ -711,22 +824,53 @@ def _run_socket_server(args, out):
             previous[signum] = signal.signal(signum, _signal_handler)
         except ValueError:  # not the main thread (e.g. under a test runner)
             pass
-    manager = None
-    if args.snapshot:
+    managers = []
+    if args.snapshot or args.snapshot_store:
         from repro.service import EventLog, SnapshotManager
 
         # Snapshot failures go to the structured event log (snapshot.failed
         # events) — to the --event-log stream when one is configured, else
         # as the same JSONL records on stderr (replacing the old ad-hoc
         # "warning: snapshot failed" print).
-        manager = SnapshotManager(
-            service,
-            args.snapshot,
-            interval=args.snapshot_interval,
-            event_log=service.event_log or EventLog(stream=sys.stderr),
-        )
-        manager.install_signal_handler()  # SIGUSR1 -> snapshot now
-        manager.start()  # periodic loop (no-op without --snapshot-interval)
+        snapshot_events = service.event_log or EventLog(stream=sys.stderr)
+        if args.snapshot:
+            managers.append(
+                SnapshotManager(
+                    service,
+                    args.snapshot,
+                    interval=args.snapshot_interval,
+                    event_log=snapshot_events,
+                )
+            )
+        if args.snapshot_store:
+            from repro.service.fleet import SnapshotStore, StoreSaver
+
+            # The StoreSaver facade fans save_caches() out into the shared
+            # per-session store, so the manager's periodic loop, SIGUSR1
+            # trigger and drain-time save all feed the fleet directory.
+            store = SnapshotStore(args.snapshot_store)
+            managers.append(
+                SnapshotManager(
+                    StoreSaver(service, store),
+                    store.root,
+                    interval=args.snapshot_interval,
+                    event_log=snapshot_events,
+                )
+            )
+        managers[0].install_signal_handler()  # SIGUSR1 -> snapshot now
+        if len(managers) > 1 and hasattr(signal, "SIGUSR1"):
+            # One SIGUSR1 must snapshot *every* target; managers[0] keeps
+            # the pre-install handler for restore_signal_handler().
+            def _snapshot_all(signum, frame, targets=tuple(managers)):
+                for target in targets:
+                    target.trigger()
+
+            try:
+                signal.signal(signal.SIGUSR1, _snapshot_all)
+            except ValueError:  # not the main thread
+                pass
+        for manager in managers:
+            manager.start()  # periodic loop (no-op without --snapshot-interval)
     observability = None
     if args.http_port is not None:
         from repro.service import ObservabilityServer
@@ -749,7 +893,7 @@ def _run_socket_server(args, out):
         )
         stop.wait()
         server.stop(drain=True)
-        if manager is not None:
+        for manager in managers:
             manager.stop(final_save=True)  # drain-time snapshot
         if args.stats:
             print(
@@ -761,11 +905,90 @@ def _run_socket_server(args, out):
         server.stop(drain=False)  # idempotent; covers the exception path
         if observability is not None:
             observability.stop()
-        if manager is not None:
+        for manager in managers:
             manager.stop(final_save=False)  # idempotent; exception path
-            manager.restore_signal_handler()
+        if managers:
+            managers[0].restore_signal_handler()
         service.shutdown()
         _close_observability(service)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+def _run_route(args, out):
+    """Bind the fleet router and serve until SIGTERM/SIGINT, then drain.
+
+    The router speaks the same JSONL protocol as ``serve --port``, so
+    existing clients point at it unchanged; behind it, each request's
+    structural constraint digest picks the backend (and the failover
+    order) on the consistent-hash ring.
+    """
+    from repro.service.fleet import FleetRouter
+
+    event_log = _build_event_log(args)
+    router = FleetRouter(
+        args.backend,
+        host=args.host,
+        port=args.port,
+        connect_timeout=args.connect_timeout,
+        request_timeout=args.timeout,
+        ring_replicas=args.ring_replicas,
+        route_workers=args.route_workers,
+        event_log=event_log,
+    )
+    stop = threading.Event()
+
+    def _signal_handler(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _signal_handler)
+        except ValueError:  # not the main thread (e.g. under a test runner)
+            pass
+    observability = None
+    try:
+        if args.sync_interval is not None:
+            router.attach_exchanger(interval=args.sync_interval)
+        if args.http_port is not None:
+            from repro.service import ObservabilityServer
+
+            # RouterStats mirrors the as_dict()/shards surface the sidecar
+            # scrapes, so /metrics and /stats expose the routing gauges; the
+            # readiness override flips /readyz once no backend is healthy.
+            observability = ObservabilityServer(
+                router,
+                host=args.host,
+                port=args.http_port,
+                readiness=router.readiness,
+            )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(str(router.port))
+        if observability is not None and args.http_port_file:
+            with open(args.http_port_file, "w", encoding="utf-8") as handle:
+                handle.write(str(observability.port))
+        print(
+            json.dumps(serving_record(router.address[0], router.port)),
+            file=out,
+            flush=True,
+        )
+        stop.wait()
+        router.stop(drain=True)
+        if args.stats:
+            print(
+                json.dumps(stats_record(router.stats().as_dict())),
+                file=out,
+                flush=True,
+            )
+    finally:
+        router.stop(drain=False)  # idempotent; covers the exception path
+        if observability is not None:
+            observability.stop()
+        if event_log is not None:
+            event_log.close()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     return 0
@@ -928,6 +1151,8 @@ def main(argv=None, out=None):
         return 0
     if args.command == "optimize":
         return _run_optimize(args, out)
+    if args.command == "route":
+        return _run_route(args, out)
     if args.command == "client":
         return _run_client(args, out)
     if args.command == "obs-check":

@@ -52,6 +52,10 @@ class ContainmentMemo:
             raise ValueError(f"max_entries must be >= 1 or None, got {max_entries!r}")
         self.max_entries = max_entries
         self._verdicts = OrderedDict()  # guarded-by: _lock
+        #: Insertion log backing :meth:`snapshot` / :meth:`export_since` —
+        #: same delta-export protocol as :class:`~repro.chase.implication.
+        #: ChaseCache` (the fleet sync ships memo deltas, not whole memos).
+        self._log = []  # guarded-by: _lock
         self.hits = 0  # guarded-by: _lock
         self.misses = 0  # guarded-by: _lock
         self.evictions = 0  # guarded-by: _lock
@@ -64,11 +68,16 @@ class ContainmentMemo:
         with self._lock:
             state = self.__dict__.copy()
             state["_verdicts"] = OrderedDict(self._verdicts)
+            state["_log"] = list(self._log)
         del state["_lock"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Memos pickled before the delta log existed (pre-fleet snapshots)
+        # rebuild it from the live verdicts, so a marker-0 export still ships
+        # everything the restored memo knows.
+        self.__dict__.setdefault("_log", list(self._verdicts))
         self._lock = threading.Lock()
 
     @staticmethod
@@ -113,11 +122,52 @@ class ContainmentMemo:
     def _store(self, key, verdict):  # holds: _lock
         if key not in self._verdicts:
             self._verdicts[key] = verdict
+            self._log.append(key)
             while self.max_entries is not None and len(self._verdicts) > self.max_entries:
                 self._verdicts.popitem(last=False)
                 self.evictions += 1
+            self._compact_log()
         elif self.max_entries is not None:
             self._verdicts.move_to_end(key)
+
+    def _compact_log(self):  # holds: _lock
+        # Mirrors ChaseCache._compact_log: under eviction churn the log is
+        # rewritten to the live keys; a stale marker then under-reports,
+        # which only costs the receiving replica a re-search (merges are
+        # idempotent — verdicts are pure functions of the query pair).
+        if self.max_entries is not None and len(self._log) > 4 * self.max_entries + 16:
+            self._log = list(self._verdicts)
+
+    def snapshot(self):
+        """Return an opaque marker for :meth:`export_since`."""
+        with self._lock:
+            return len(self._log)
+
+    def export_since(self, marker=0):
+        """Return the verdicts stored after ``marker`` as ``[(key, verdict)]``.
+
+        The fleet sync ships these between replicas; verdicts evicted since
+        they were logged are skipped, and after a log compaction a stale
+        marker may under-report — callers treat the export as best-effort
+        warm-up, never ground truth.
+        """
+        with self._lock:
+            return [
+                (key, self._verdicts[key])
+                for key in self._log[marker:]
+                if key in self._verdicts
+            ]
+
+    def merge_exported(self, entries):
+        """Fold a peer's :meth:`export_since` payload into this memo.
+
+        Idempotent (a verdict already present is left alone); accounting is
+        *not* transferred — hit/miss counters describe this process's
+        traffic, and exchanged verdicts show up as future hits instead.
+        """
+        with self._lock:
+            for key, verdict in entries:
+                self._store(key, verdict)
 
     def merge(self, other):
         """Fold another memo's verdicts and accounting into this one."""

@@ -45,7 +45,12 @@ import time
 from concurrent.futures import Future
 
 from repro.errors import ConnectionLost, ProtocolError
-from repro.service.protocol import ping_request, stats_request
+from repro.service.protocol import (
+    ping_request,
+    stats_request,
+    sync_export_request,
+    sync_merge_request,
+)
 
 #: Transport failures :meth:`OptimizerClient.request` treats as transient.
 _TRANSIENT = (ProtocolError, ConnectionError, OSError)
@@ -165,7 +170,9 @@ class OptimizerClient:  # repro-lint: ignore[pickle-safety] never pickled — cl
     backoff_base / backoff_max:
         Exponential backoff schedule between attempts:
         ``min(backoff_max, backoff_base * 2**attempt)`` plus up to 25%
-        jitter (decorrelates a fleet of retrying clients).
+        jitter (decorrelates a fleet of retrying clients).  A server's
+        explicit ``retry_after`` hint bypasses both the cap and the jitter
+        — it is honoured exactly, bounded only by ``deadline``.
     deadline:
         Overall wall-clock budget (seconds) across *all* attempts of one
         :meth:`request`; when the next backoff sleep would exceed it, the
@@ -193,7 +200,8 @@ class OptimizerClient:  # repro-lint: ignore[pickle-safety] never pickled — cl
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self.deadline = deadline
-        self._rng = random.Random(backoff_seed)
+        self._rng = random.Random(backoff_seed)  # guarded-by: _rng_lock
+        self._rng_lock = threading.Lock()
         self._ids = itertools.count(1)
         self._link_lock = threading.Lock()
         self._closed = False  # guarded-by: _link_lock
@@ -305,6 +313,16 @@ class OptimizerClient:  # repro-lint: ignore[pickle-safety] never pickled — cl
         """Liveness round-trip; returns ``True`` when the server answered."""
         return bool(self.request(ping_request(), timeout=timeout).get("pong"))
 
+    def sync_export(self, timeout=None):
+        """Fetch the server's hot-session cache/memo deltas (fleet exchange)."""
+        response = self.request(sync_export_request(), timeout=timeout)
+        return response.get("sessions") or []
+
+    def sync_merge(self, sessions, timeout=None):
+        """Offer a peer's exported deltas; returns ``(merged, rejected)``."""
+        response = self.request(sync_merge_request(sessions), timeout=timeout)
+        return response.get("merged", 0), response.get("rejected", 0)
+
     # ------------------------------------------------------------------ #
     # reconnect + backoff plumbing
     # ------------------------------------------------------------------ #
@@ -339,14 +357,39 @@ class OptimizerClient:  # repro-lint: ignore[pickle-safety] never pickled — cl
             raise TimeoutError("client deadline exceeded")
         return remaining if timeout is None else min(timeout, remaining)
 
+    def _jitter(self):
+        """One jitter sample, under the RNG's own lock.
+
+        ``random.Random`` mutates internal state on every draw and is not
+        thread-safe; the client *is* (documented contract, enforced by the
+        stress suite), and concurrent :meth:`request` callers all back off
+        through the same RNG — so the draw gets its own lock rather than
+        piggybacking on ``_link_lock`` (no reason for a sleep schedule to
+        contend with reconnects).
+        """
+        with self._rng_lock:
+            return self._rng.random()
+
+    def _next_delay(self, attempt, suggested=None):
+        """Delay (seconds) before retry ``attempt + 1``; pure, no sleeping.
+
+        An explicit server ``retry_after`` hint is honoured *exactly*: no
+        clamp to ``backoff_max``, no jitter.  The server names the earliest
+        moment it expects capacity; clamping a hint above ``backoff_max``
+        (the old behaviour) made the client come back *earlier* than asked,
+        re-hammering the overloaded shard.  The caller's deadline — applied
+        by :meth:`_backoff` — remains the only cap.  Without a hint, capped
+        exponential backoff with up to +25% jitter decorrelates a fleet of
+        retrying clients.
+        """
+        if suggested is not None:
+            return max(0.0, float(suggested))
+        delay = min(self.backoff_max, self.backoff_base * (2**attempt))
+        return delay * (1.0 + 0.25 * self._jitter())
+
     def _backoff(self, attempt, give_up_at, suggested=None):
         """Sleep before the next attempt; False when the deadline forbids it."""
-        delay = (
-            suggested
-            if suggested is not None
-            else min(self.backoff_max, self.backoff_base * (2**attempt))
-        )
-        delay = min(self.backoff_max, delay) * (1.0 + 0.25 * self._rng.random())
+        delay = self._next_delay(attempt, suggested=suggested)
         if give_up_at is not None and time.monotonic() + delay >= give_up_at:
             return False
         time.sleep(delay)

@@ -1,0 +1,43 @@
+"""The optimizer fleet layer: router, membership ring, exchange, snapshot store.
+
+One ``serve`` process scales a single host; the fleet layer scales the
+*deployment*:
+
+* :mod:`~repro.service.fleet.membership` — backend descriptors and the
+  consistent-hash ring that maps each request's structural constraint
+  digest to a preference order of backends (stable under membership
+  changes: adding a replica only moves the keys it takes over).
+* :mod:`~repro.service.fleet.router` — the front-end TCP process
+  (``repro.cli route``) speaking the same JSONL protocol as ``serve``:
+  requests are hashed to a backend, ``overloaded`` responses are
+  *re-routed* to the next replica with capacity instead of shed, and
+  transport failures fail over the same way.
+* :mod:`~repro.service.fleet.exchange` — the periodic cache/memo exchange
+  driving the ``sync`` protocol op: each backend's hot-session deltas
+  (chase fixpoints + containment verdicts) are relayed to its peers, so a
+  replica serves warm hits it never computed locally.
+* :mod:`~repro.service.fleet.store` — the shared snapshot store (one
+  atomic per-session file keyed by constraint digest), so restarts *and*
+  scale-up start warm from whatever any fleet member saved.
+
+Everything is keyed by the one structural identity —
+:func:`~repro.chase.implication.constraints_digest` — that shard placement,
+snapshot staleness and the sync guard already share: exchanged or restored
+state is only valid under the exact dependency set it was computed with.
+"""
+
+from repro.service.fleet.exchange import SyncExchanger
+from repro.service.fleet.membership import Backend, HashRing, parse_backend
+from repro.service.fleet.router import FleetRouter, RouterStats
+from repro.service.fleet.store import SnapshotStore, StoreSaver
+
+__all__ = [
+    "Backend",
+    "FleetRouter",
+    "HashRing",
+    "RouterStats",
+    "SnapshotStore",
+    "StoreSaver",
+    "SyncExchanger",
+    "parse_backend",
+]

@@ -1,0 +1,157 @@
+"""Periodic cross-process cache/memo exchange between fleet backends.
+
+Every round, :class:`SyncExchanger` asks each reachable backend for its
+hot-session deltas (``{"op": "sync", "mode": "export"}`` — chase-cache
+entries and containment verdicts learned since the previous round) and
+offers each backend the union of its *peers'* deltas
+(``mode: "merge"``).  The receiving service recomputes each entry's
+structural constraint digest and rejects mismatches, so only state computed
+under the exact same dependency set ever merges — the incremental-
+maintenance discipline snapshots already apply, now across processes.
+
+Delta markers live server-side (per session, in
+:meth:`~repro.service.service.OptimizerService.export_sync`), so rounds are
+incremental no matter who drives them; merges are idempotent, so an entry
+shipped twice (or echoed back through a third replica on the next round) is
+absorbed for free.  A backend that fails a round is skipped — and reported
+through ``on_health`` so the router stops preferring it — never retried
+inline: the next round is the retry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ProtocolError
+from repro.service.observability.events import log_event
+
+#: Transport failures that skip a backend for the round (next round retries).
+_TRANSIENT = (ProtocolError, ConnectionError, OSError)
+
+
+class SyncExchanger:  # repro-lint: ignore[pickle-safety] never pickled — drives live client connections
+    """All-pairs relay of cache/memo deltas across fleet backends.
+
+    Parameters
+    ----------
+    names:
+        Backend names (``host:port``), the exchange's stable identities.
+    client_for:
+        ``name -> OptimizerClient`` resolver (the router shares its routing
+        clients; standalone use builds dedicated ones).  May raise a
+        transport error when the backend is down — the backend is skipped
+        for the round.
+    interval:
+        Seconds between rounds for :meth:`start`'s background loop
+        (``None`` = manual :meth:`run_once` only — the differential tests
+        drive rounds deterministically).
+    on_health:
+        Optional ``(name, healthy) -> None`` callback fed by round
+        outcomes (the router flips its backend health bits with this).
+    """
+
+    def __init__(self, names, client_for, interval=None, event_log=None, on_health=None):
+        if interval is not None and interval <= 0:
+            raise ValueError(f"sync interval must be > 0 or None, got {interval!r}")
+        self._names = list(names)
+        self._client_for = client_for
+        self.interval = interval
+        self.event_log = event_log
+        self._on_health = on_health
+        self.rounds = 0  # guarded-by: _lock
+        self.sessions_moved = 0  # guarded-by: _lock
+        self.failures = 0  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._thread = None
+
+    def run_once(self, timeout=None):
+        """One exchange round; returns the number of session merges applied.
+
+        Export before merge, all backends: the round first collects every
+        reachable backend's deltas, then offers each backend the union of
+        the *others'* — so even a round where only one backend learned
+        anything still warms the whole fleet.
+        """
+        exports = {}
+        for name in self._names:
+            try:
+                exports[name] = self._client_for(name).sync_export(timeout=timeout)
+                self._health(name, True)
+            except _TRANSIENT as error:
+                exports[name] = None
+                self._count_failure(name, error)
+        moved = 0
+        for name in self._names:
+            if exports.get(name) is None:
+                continue  # unreachable this round; it missed its turn, not its state
+            offer = [
+                session
+                for peer, sessions in exports.items()
+                if peer != name and sessions
+                for session in sessions
+            ]
+            if not offer:
+                continue
+            try:
+                merged, rejected = self._client_for(name).sync_merge(
+                    offer, timeout=timeout
+                )
+                self._health(name, True)
+                moved += merged
+                if rejected:
+                    log_event(
+                        self.event_log, "sync.rejected", backend=name, entries=rejected
+                    )
+            except _TRANSIENT as error:
+                self._count_failure(name, error)
+        with self._lock:
+            self.rounds += 1
+            self.sessions_moved += moved
+        log_event(self.event_log, "sync.round", sessions_moved=moved)
+        return moved
+
+    def _health(self, name, healthy):
+        if self._on_health is not None:
+            self._on_health(name, healthy)
+
+    def _count_failure(self, name, error):
+        with self._lock:
+            self.failures += 1
+        self._health(name, False)
+        log_event(self.event_log, "sync.backend_failed", backend=name, error=str(error))
+
+    def totals(self):
+        """``(rounds, sessions_moved)`` as one consistent snapshot."""
+        with self._lock:
+            return self.rounds, self.sessions_moved
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self):
+        """Start the periodic loop (no-op without an ``interval``)."""
+        if self.interval is None or self._thread is not None:
+            return self
+        self._thread = threading.Thread(  # released-by: stop
+            target=self._loop, name="fleet-sync", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self):
+        while not self._stopped.wait(timeout=self.interval):
+            try:
+                self.run_once()
+            except Exception as error:  # noqa: BLE001 - a bad round never kills the loop
+                log_event(self.event_log, "sync.round_failed", error=str(error))
+
+    def stop(self):
+        """Stop the loop (idempotent; in-flight round completes)."""
+        self._stopped.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+
+__all__ = ["SyncExchanger"]

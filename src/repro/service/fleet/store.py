@@ -1,0 +1,119 @@
+"""The shared snapshot store: per-session files keyed by constraint digest.
+
+PR 6's single-file snapshots warm-restart one process.  A fleet needs the
+same warmth *shared*: any backend (or a brand-new replica scaling up)
+should boot from whatever the fleet has already learned.  The store is a
+directory — local disk for one host, a network mount for many — laid out
+by structural constraint digest::
+
+    <root>/<digest[:2]>/<digest>.snap
+
+One file per constraint set, written with the same atomic
+temp-file + fsync + rename envelope as :func:`~repro.service.snapshots.
+write_snapshot` (manifest digest, payload checksum), so concurrent savers
+on different sessions never conflict and two backends racing on the *same*
+digest just last-write-win a consistent file.  Loading reuses
+:meth:`~repro.service.service.OptimizerService.recover_caches` per file:
+stale sessions are skipped by the manifest digest check, unreadable files
+cost a counted recovery and a cold start for that one catalog — never a
+boot failure.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+from repro.chase.implication import constraints_digest
+from repro.errors import SnapshotError
+from repro.service.snapshots import write_snapshot
+
+
+class SnapshotStore:
+    """Directory of per-session snapshots shared by a fleet.
+
+    The digest-keyed layout is what makes sharing safe: a file's *name* is
+    the structural identity of the constraint set inside it, so savers on
+    different catalogs write different files, and a loader knows what a
+    file claims to contain before reading it.
+    """
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+
+    def path_for(self, digest):
+        """The session file for a constraint digest (two-level fan-out)."""
+        return os.path.join(self.root, digest[:2], f"{digest}.snap")
+
+    def files(self):
+        """Every session file currently in the store, sorted for determinism."""
+        return sorted(glob.glob(os.path.join(self.root, "*", "*.snap")))
+
+    def save(self, sessions, faults=None):
+        """Write each session dict to its digest-keyed file; returns count.
+
+        ``sessions`` is the :meth:`OptimizerService.export_sessions` shape.
+        Each write is individually atomic; a failure raises
+        :class:`~repro.errors.SnapshotError` with earlier files already
+        safely in place (the periodic manager counts the failed save and
+        retries next interval).
+        """
+        saved = 0
+        for session in sessions:
+            digest = constraints_digest(session["signature"])
+            path = self.path_for(digest)
+            try:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+            except OSError as error:
+                raise SnapshotError(
+                    f"cannot create store directory for {path!r}: {error}",
+                    path=path,
+                    reason="io",
+                ) from error
+            write_snapshot(path, [session], faults=faults)
+            saved += 1
+        return saved
+
+    def restore(self, service):
+        """Warm ``service`` from every readable, fresh session in the store.
+
+        Returns ``(sessions_restored, failed_files)``.  Per-file
+        degradation via :meth:`~repro.service.service.OptimizerService.
+        recover_caches`: corruption or staleness in one catalog's file
+        never blocks the rest of the store.
+        """
+        restored = 0
+        failures = 0
+        for path in self.files():
+            sessions, error = service.recover_caches(path)
+            restored += sessions
+            if error is not None:
+                failures += 1
+        return restored, failures
+
+
+class StoreSaver:
+    """Adapter giving :class:`~repro.service.snapshots.SnapshotManager` a
+    store-backed save target.
+
+    The manager's loop calls ``save_caches(path, faults)`` on whatever it
+    wraps; this facade ignores the single-file path and fans the service's
+    sessions out into the store instead — periodic + SIGUSR1 triggers,
+    failure counting and drain-time saves all come along for free.
+    """
+
+    def __init__(self, service, store):
+        self.service = service
+        self.store = store
+
+    def save_caches(self, path, faults=None):
+        del path  # the store's layout, not the manager's path, names the files
+        return self.store.save(
+            self.service.export_sessions(),
+            faults=faults
+            if faults is not None
+            else getattr(self.service, "fault_injector", None),
+        )
+
+
+__all__ = ["SnapshotStore", "StoreSaver"]

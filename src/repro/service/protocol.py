@@ -23,13 +23,29 @@ Response lines carry ``status``: ``"ok"`` (plan digests + serving
 metadata), ``"error"`` (decode or engine failure), or ``"overloaded"``
 (admission rejected the request — retry after backing off; nothing was
 executed).
+
+Fleet sync (PR 10): ``{"op": "sync", "mode": "export"}`` asks a backend for
+the cache/memo deltas of its hot sessions; ``{"op": "sync", "mode":
+"merge", "sessions": [...]}`` offers a peer's deltas for merging.  Each
+session entry is ``{"digest": <constraints_digest>, "label": ...,
+"data": <base64 pickle>}`` — the pickled payload carries the exact
+constraint-set signature plus per-cache entry dicts and memo verdicts
+(engine objects are not JSON-representable, so they ride base64-encoded
+inside the JSONL frame).  The receiver *recomputes* the structural digest
+from the payload's signature and rejects entries whose recomputed digest
+disagrees with the advertised one — the same staleness discipline snapshot
+loading applies, because exchanged fixpoints and verdicts are only valid
+under the dependency set they were computed with.
 """
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
+import pickle
 
+from repro.chase.implication import constraints_digest
 from repro.workloads import build_ec1, build_ec2, build_ec3
 
 #: workload name -> (builder, parameter names accepted in a request's "params")
@@ -156,6 +172,88 @@ def serving_record(host, port):
     return {"serving": {"host": host, "port": port}}
 
 
+# --------------------------------------------------------------------- #
+# fleet sync (cross-process cache/memo exchange)
+# --------------------------------------------------------------------- #
+def encode_sync_session(signature, caches, memo_entries, label=None):
+    """Encode one session's deltas for the wire.
+
+    ``signature`` is the exact constraint set (frozenset of dependencies),
+    ``caches`` maps per-constraint-set cache signatures to their exported
+    entry dicts (:meth:`ChaseCacheRegistry.export_entries`), ``memo_entries``
+    is the memo's :meth:`~repro.cq.memo.ContainmentMemo.export_since` list.
+    The advertised ``digest`` is recomputed by the receiver before merging.
+    """
+    payload = {
+        "signature": signature,
+        "caches": caches,
+        "memo": memo_entries,
+    }
+    return {
+        "digest": constraints_digest(signature),
+        "label": label,
+        "data": base64.b64encode(pickle.dumps(payload)).decode("ascii"),
+    }
+
+
+def decode_sync_session(session):
+    """Decode one wire session entry back to ``(advertised_digest, payload)``.
+
+    Raises ``ValueError`` on a malformed entry; the *semantic* guard
+    (recomputed digest vs. advertised) is the receiver's job — it needs the
+    decoded payload either way, and a mismatch is counted, not raised.
+    """
+    try:
+        data = base64.b64decode(session["data"])
+        payload = pickle.loads(data)
+        advertised = session["digest"]
+    except (
+        KeyError,
+        TypeError,
+        ValueError,
+        EOFError,  # pickle.loads on truncated/empty payloads
+        AttributeError,  # pickled classes the receiver cannot resolve
+        pickle.UnpicklingError,
+    ) as error:
+        raise ValueError(f"malformed sync session entry: {error}") from error
+    if not isinstance(payload, dict) or "signature" not in payload:
+        raise ValueError("malformed sync session entry: payload has no signature")
+    return advertised, payload
+
+
+def sync_export_request(request_id=None):
+    """The control line asking a backend for its hot sessions' deltas."""
+    record = {"op": "sync", "mode": "export"}
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def sync_merge_request(sessions, request_id=None):
+    """The control line offering a peer's exported deltas for merging."""
+    record = {"op": "sync", "mode": "merge", "sessions": list(sessions)}
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def sync_record(request_id, sessions=None, merged=None, rejected=None):
+    """The typed reply to ``{"op": "sync"}`` (both modes).
+
+    An export reply carries ``sessions`` (the wire entries); a merge reply
+    carries ``merged`` (sessions folded in) and ``rejected``
+    (digest-mismatch or malformed entries skipped and counted).
+    """
+    record = {"id": request_id, "sync": True}
+    if sessions is not None:
+        record["sessions"] = sessions
+    if merged is not None:
+        record["merged"] = merged
+    if rejected is not None:
+        record["rejected"] = rejected
+    return record
+
+
 def obs_check_record(problems):
     """The ``obs-check`` subcommand's verdict line (empty problems = pass)."""
     return {
@@ -195,7 +293,9 @@ def overloaded_record(request_id, error=None):
 __all__ = [
     "WORKLOAD_BUILDERS",
     "decode_request",
+    "decode_sync_session",
     "encode_response",
+    "encode_sync_session",
     "error_record",
     "obs_check_record",
     "overloaded_record",
@@ -205,4 +305,7 @@ __all__ = [
     "serving_record",
     "stats_record",
     "stats_request",
+    "sync_export_request",
+    "sync_merge_request",
+    "sync_record",
 ]

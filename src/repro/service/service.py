@@ -45,10 +45,11 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceOverloaded
+from repro.chase.implication import constraints_digest
 from repro.chase.optimizer import STRATEGIES
 from repro.service.metrics import MetricsCollector, ServiceStats
 from repro.service.observability.events import log_event
-from repro.service.protocol import plan_digest
+from repro.service.protocol import decode_sync_session, plan_digest
 from repro.service.shard import Shard, shard_index
 
 
@@ -238,6 +239,11 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         self._request_ids = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False  # guarded-by: _lock
+        #: Per-session delta markers for export_sync (signature ->
+        #: {"caches": {cache_sig: marker}, "memo": marker}), so each sync
+        #: round ships only what was learned since the previous one.
+        self._sync_markers = {}  # guarded-by: _sync_lock
+        self._sync_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # admission
@@ -385,6 +391,13 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         recoveries, stale_sessions, snapshots_loaded, sessions_restored = (
             self._metrics.recovery_snapshot()
         )
+        (
+            sync_exports,
+            sync_sessions_exported,
+            sync_merges,
+            sync_sessions_merged,
+            sync_rejected,
+        ) = self._metrics.sync_snapshot()
         return ServiceStats(
             shards=[shard.stats() for shard in self._shards],
             requests=requests,
@@ -394,6 +407,11 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
             stale_sessions=stale_sessions,
             snapshots_loaded=snapshots_loaded,
             sessions_restored=sessions_restored,
+            sync_exports=sync_exports,
+            sync_sessions_exported=sync_sessions_exported,
+            sync_merges=sync_merges,
+            sync_sessions_merged=sync_sessions_merged,
+            sync_rejected=sync_rejected,
             latencies=latencies,
         )
 
@@ -433,22 +451,53 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
         """
         from repro.service.snapshots import write_snapshot
 
+        return write_snapshot(
+            path,
+            self.export_sessions(),
+            faults=faults if faults is not None else self.fault_injector,
+        )
+
+    def export_sessions(self):
+        """Every shard's warm sessions as snapshot-shaped dicts.
+
+        The same ``{"signature", "label", "registry", "memo"}`` shape
+        :func:`~repro.service.snapshots.write_snapshot` persists — shared by
+        :meth:`save_caches` (one file) and the fleet's
+        :class:`~repro.service.fleet.store.SnapshotStore` (one file per
+        constraint digest).
+        """
         sessions = []
         for shard in self._shards:
             for signature, label, registry, memo in shard.export_sessions():
                 sessions.append(
                     {"signature": signature, "label": label, "registry": registry, "memo": memo}
                 )
-        return write_snapshot(
-            path, sessions, faults=faults if faults is not None else self.fault_injector
-        )
+        return sessions
+
+    def restore_session(self, signature, label, registry, memo):
+        """Install one exported session, routed like live traffic.
+
+        Routing goes through :func:`~repro.service.shard.shard_index` on the
+        structural constraint digest, so restored state lands exactly where
+        admission will send that constraint set's requests.
+        """
+        constraints = list(signature)
+        shard = self._shards[shard_index(constraints, len(self._shards))]
+        shard.restore_session(signature, label, registry, memo)
 
     def load_caches(self, path, faults=None):
         """Restore a :meth:`save_caches` snapshot into this service's shards.
 
         Each session is re-routed by its constraint-set signature (the same
         :func:`~repro.service.shard.shard_index` admission uses), so the
-        shard count may differ from the saving process's.  Sessions whose
+        shard count may differ from the saving process's.  Placement
+        compatibility: ``shard_index`` hashes the structural
+        :func:`~repro.chase.implication.constraints_digest` — the identity
+        the snapshot manifest itself records — so re-routing agrees with
+        staleness: a session the manifest says is fresh lands exactly where
+        admission will route that constraint set's traffic, even across
+        processes (and across fleet backends sharing a snapshot store).
+        Sessions whose
         constraint-set digest no longer matches the snapshot manifest are
         *skipped* (stale: their fixpoints were computed under different
         constraints) and counted in ``stats().stale_sessions``.  Returns the
@@ -468,9 +517,7 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
             if is_stale:
                 stale += 1
                 continue
-            constraints = list(entry["signature"])
-            shard = self._shards[shard_index(constraints, len(self._shards))]
-            shard.restore_session(
+            self.restore_session(
                 entry["signature"], entry["label"], entry["registry"], entry["memo"]
             )
             restored += 1
@@ -485,6 +532,85 @@ class OptimizerService:  # repro-lint: ignore[pickle-safety] never pickled — s
             stale_sessions=stale,
         )
         return restored
+
+    # ------------------------------------------------------------------ #
+    # fleet sync (cross-process cache/memo exchange)
+    # ------------------------------------------------------------------ #
+    def export_sync(self):
+        """Export every warm session's cache/memo *deltas* for a fleet peer.
+
+        Returns a list of wire entries
+        (:func:`~repro.service.protocol.encode_sync_session`): one per
+        session that learned anything since the previous export — new chase
+        fixpoints (per-constraint-set cache entries) and new containment
+        verdicts.  Per-session markers make consecutive calls incremental;
+        an entry landing mid-export is shipped twice, which
+        :meth:`merge_sync` absorbs (merges are idempotent).
+        """
+        from repro.service.protocol import encode_sync_session
+
+        exported = []
+        for shard in self._shards:
+            for signature, label, registry, memo in shard.export_sessions():
+                with self._sync_lock:
+                    markers = self._sync_markers.setdefault(
+                        signature, {"caches": {}, "memo": 0}
+                    )
+                    cache_markers = dict(markers["caches"])
+                    memo_marker = markers["memo"]
+                entries, new_cache_markers = registry.export_entries(cache_markers)
+                new_memo_marker = memo.snapshot()
+                memo_entries = memo.export_since(memo_marker)
+                with self._sync_lock:
+                    markers = self._sync_markers[signature]
+                    markers["caches"].update(new_cache_markers)
+                    markers["memo"] = new_memo_marker
+                if not entries and not memo_entries:
+                    continue
+                exported.append(
+                    encode_sync_session(signature, entries, memo_entries, label=label)
+                )
+        self._metrics.record_sync_export(len(exported))
+        log_event(self.event_log, "sync.exported", sessions=len(exported))
+        return exported
+
+    def merge_sync(self, sessions):
+        """Merge a peer's :meth:`export_sync` payload; returns ``(merged, rejected)``.
+
+        The constraint-digest guard: each entry's structural digest is
+        *recomputed* from the payload's exact constraint set and compared
+        against the advertised one — on mismatch the entry is rejected
+        whole (counted, never partially merged), because exchanged fixpoints
+        and verdicts are only valid under the dependency set they were
+        computed with.  Accepted entries route by the same
+        :func:`~repro.service.shard.shard_index` admission uses, creating
+        the session on first contact, so a scaled-up replica warms catalogs
+        it has never served.
+        """
+        merged = 0
+        rejected = 0
+        for entry in sessions:
+            try:
+                advertised, payload = decode_sync_session(entry)
+            except ValueError:
+                rejected += 1
+                continue
+            signature = payload["signature"]
+            if constraints_digest(signature) != advertised:
+                rejected += 1
+                continue
+            constraints = list(signature)
+            with self._lock:
+                if self._closed:
+                    break
+                shard = self._shards[shard_index(constraints, len(self._shards))]
+            session = shard.session_for(constraints)
+            session.registry.merge_entries(payload.get("caches") or {})
+            session.memo.merge_exported(payload.get("memo") or [])
+            merged += 1
+        self._metrics.record_sync_merge(merged, rejected)
+        log_event(self.event_log, "sync.merged", sessions=merged, rejected=rejected)
+        return merged, rejected
 
     def recover_caches(self, path):
         """Load a snapshot, degrading to a cold start on *any* failure.

@@ -38,12 +38,15 @@ from __future__ import annotations
 import queue
 import threading
 import time
-import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import RunnerCrash, ServiceOverloaded
-from repro.chase.implication import ChaseCacheRegistry, constraint_signature
+from repro.chase.implication import (
+    ChaseCacheRegistry,
+    constraint_signature,
+    constraints_digest,
+)
 from repro.chase.optimizer import CBOptimizer
 from repro.cq.memo import ContainmentMemo
 from repro.service.faults import maybe_fail
@@ -59,18 +62,26 @@ _SHUTDOWN = object()
 def shard_index(constraints, shard_count):
     """Deterministically map a constraint set to a shard.
 
-    Uses a CRC over the sorted dependency names so the placement is stable
-    across processes and runs (``hash()`` is salted per process).
+    Hashes the *structural* :func:`constraints_digest` (name + body of every
+    dependency, sorted) so the placement is stable across processes and runs
+    (``hash()`` is salted per process).  It used to hash only the sorted
+    dependency *names*, so two constraint sets with identical names but
+    different bodies aliased to the same placement — wrong for anything that
+    keys cache validity on the set's structure (snapshots, the fleet ring,
+    cross-process sync all use the same digest).
     """
-    digest = zlib.crc32("|".join(sorted(dep.name for dep in constraints)).encode("utf-8"))
-    return digest % max(1, shard_count)
+    digest = constraints_digest(constraints)
+    return int(digest[:16], 16) % max(1, shard_count)
 
 
 def session_label(constraints):
-    """Short human-readable identity for a session (stats / JSONL output)."""
-    names = sorted(dep.name for dep in constraints)
-    digest = zlib.crc32("|".join(names).encode("utf-8"))
-    return f"{len(names)}c-{digest:08x}"
+    """Short human-readable identity for a session (stats / JSONL output).
+
+    Built from the structural digest so same-name/different-body constraint
+    sets get distinct labels (they are distinct sessions).
+    """
+    constraints = list(constraints)
+    return f"{len(constraints)}c-{constraints_digest(constraints)[:8]}"
 
 
 @dataclass

@@ -39,6 +39,7 @@ import tempfile
 import threading
 import time
 
+from repro.chase.implication import constraints_digest
 from repro.errors import InjectedFault, SnapshotError
 from repro.service.faults import maybe_fail
 from repro.service.observability.events import log_event
@@ -50,18 +51,10 @@ SNAPSHOT_VERSION = 2
 
 _FORMAT = "repro-snapshot"
 
-
-def constraints_digest(constraints):
-    """Stable structural digest of a constraint set.
-
-    Uses each dependency's pretty-printed form (name + quantifier structure),
-    sorted — stable across processes and runs, and it *changes* whenever any
-    constraint's definition changes, which is exactly the staleness signal:
-    chase fixpoints and containment verdicts are only valid under the
-    dependency set they were computed with.
-    """
-    text = "\n".join(sorted(str(dep) for dep in constraints))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+# ``constraints_digest`` used to live here; it is now the shared structural
+# identity in :mod:`repro.chase.implication` (shard placement, the fleet
+# router's ring, the sync guard and these manifests all hash the same way).
+# Re-exported below for backwards compatibility.
 
 
 def write_snapshot(path, sessions, faults=None):

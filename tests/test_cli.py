@@ -27,6 +27,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_route_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "route",
+                "--backend", "127.0.0.1:7411",
+                "--backend", ":7412",
+                "--port", "0",
+                "--sync-interval", "5",
+            ]
+        )
+        assert args.command == "route"
+        assert args.backend == ["127.0.0.1:7411", ":7412"]
+        assert args.sync_interval == 5.0
+        assert args.ring_replicas == 64  # the ring default rides the parser
+
+    def test_route_requires_a_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--port", "0"])
+
+    def test_serve_accepts_a_snapshot_store(self):
+        args = build_parser().parse_args(["serve", "--snapshot-store", "fleet-store"])
+        assert args.snapshot_store == "fleet-store"
+        assert build_parser().parse_args(["batch"]).snapshot_store is None
+
 
 class TestMain:
     def test_list_command(self):

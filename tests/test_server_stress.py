@@ -15,6 +15,7 @@ Invariants locked down here:
   ``overloaded`` record (socket) — never queued, never silently dropped.
 """
 
+import random
 import threading
 
 import pytest
@@ -102,6 +103,37 @@ class TestSocketHammer:
         assert set(statuses) <= {"ok", "overloaded"}
         assert stats.requests == statuses.count("ok")
         assert stats.rejected == statuses.count("overloaded")
+
+
+class TestSharedClientBackoffRng:
+    def test_concurrent_retry_jitter_never_tears_the_rng(self):
+        """The client is documented as thread-safe, and the hammer tests
+        above share one instance across threads — so the backoff jitter's
+        ``random.Random`` (which mutates internal state on every draw) must
+        be lock-protected too.  With the lock, N threads drawing jitter
+        concurrently produce exactly the seeded sequence, just reordered;
+        the old unguarded RNG could interleave draws mid-update."""
+        threads_n, draws_per_thread = 8, 250
+        with OptimizerServer(shards=1, workers=1) as server:
+            with OptimizerClient(port=server.port, backoff_seed=97) as client:
+                draws = []
+                draws_lock = threading.Lock()
+
+                def draw():
+                    for _ in range(draws_per_thread):
+                        value = client._jitter()
+                        with draws_lock:
+                            draws.append(value)
+
+                workers = [threading.Thread(target=draw) for _ in range(threads_n)]
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join(timeout=JOIN_TIMEOUT)
+                    assert not worker.is_alive(), "jitter draw deadlocked"
+        reference = random.Random(97)
+        expected = sorted(reference.random() for _ in range(threads_n * draws_per_thread))
+        assert sorted(draws) == expected
 
 
 class TestDeterministicOverload:
